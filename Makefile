@@ -1,0 +1,36 @@
+# Convenience targets for the pvfs-sim reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures figures-paper examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-out:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/
+
+bench-only:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# regenerate every figure from the paper's evaluation
+figures:
+	$(PYTHON) -m repro.experiments.cli --all --scale scaled --mode des
+
+figures-paper:
+	mkdir -p results
+	$(PYTHON) -m repro.experiments.cli --all --scale paper --mode model \
+		--csv results/paper_scale_model.csv | tee results/paper_scale_model.md
+
+examples:
+	for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e || exit 1; done
+
+clean:
+	rm -rf .pytest_cache build *.egg-info benchmarks/results/*.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,89 @@
+"""Ablation: the 64-regions-per-request trailing-data cap.
+
+The paper derives 64 from the 1500-byte Ethernet MTU ("chosen to allow the
+I/O request and trailing data to travel through the network in a single
+Ethernet packet").  This bench sweeps the cap and shows the design point
+is near-optimal on this network: smaller caps waste requests, much larger
+caps buy little once per-request overhead is amortized (and the request no
+longer fits one frame).
+"""
+
+import pytest
+
+from repro.config import ClusterConfig, NetworkConfig
+from repro.experiments import SCALED, model_point
+from repro.patterns import one_dim_cyclic
+from repro.pvfs.protocol import request_wire_bytes
+
+CAPS = (8, 16, 32, 64, 128, 256, 1024)
+
+
+@pytest.fixture(scope="module")
+def cap_sweep():
+    pattern = one_dim_cyclic(SCALED.artificial_total, 8, 8192)
+    out = {}
+    for cap in CAPS:
+        cfg = ClusterConfig.chiba_city(n_clients=8, list_io_max_regions=cap)
+        out[cap] = model_point(pattern, "list", "write", cfg, figure="ablation", x=cap)
+    return out
+
+
+def test_region_cap_table(cap_sweep, save_result):
+    lines = [
+        "## ablation: list I/O trailing-data region cap (cyclic write, 8 clients)\n",
+        "| cap | time (s) | logical requests | fits one frame |",
+        "|---|---|---|---|",
+    ]
+    net = NetworkConfig()
+    for cap, p in cap_sweep.items():
+        fits = net.frames_for(request_wire_bytes(cap)) == 1
+        lines.append(
+            f"| {cap} | {p.elapsed:.2f} | {p.logical_requests} | {'yes' if fits else 'no'} |"
+        )
+    save_result("ablation_region_cap", "\n".join(lines) + "\n")
+
+
+def test_cap_64_is_last_single_frame_point():
+    net = NetworkConfig()
+    assert net.frames_for(request_wire_bytes(64)) == 1
+    assert net.frames_for(request_wire_bytes(128)) > 1
+
+
+def test_small_caps_hurt(cap_sweep):
+    assert cap_sweep[8].elapsed > 2 * cap_sweep[64].elapsed
+
+
+def test_write_time_tracks_request_count(cap_sweep):
+    """Writes are per-request-turnaround bound, so time scales ~inversely
+    with the cap — the paper's 64 is a conservative *network* design point
+    ('a conservative limit'), not a write-throughput optimum.  This is the
+    quantified cost of keeping requests single-frame."""
+    t8, t64, t256 = (cap_sweep[c].elapsed for c in (8, 64, 256))
+    assert t8 / t64 == pytest.approx(8192 / 1024, rel=0.4)
+    assert t64 / t256 > 2.0  # still improving past the frame boundary
+
+
+def test_read_benefit_saturates_at_transfer_floor(cap_sweep):
+    """On the READ path there is no turnaround stall: raising the cap
+    128x (8 -> 1024, i.e. 128x fewer requests) buys under 4x because the
+    time floors at data transfer + per-region service — whereas the same
+    sweep on writes (cap_sweep) is near-inversely proportional."""
+    pattern = one_dim_cyclic(SCALED.artificial_total, 8, 8192)
+    t = {}
+    for cap in (8, 1024):
+        cfg = ClusterConfig.chiba_city(n_clients=8, list_io_max_regions=cap)
+        t[cap] = model_point(pattern, "list", "read", cfg).elapsed
+    read_gain = t[8] / t[1024]
+    write_gain = cap_sweep[8].elapsed / cap_sweep[1024].elapsed
+    assert read_gain < 5.0
+    assert write_gain > 4 * read_gain
+
+
+@pytest.mark.benchmark(group="ablation-cap")
+@pytest.mark.parametrize("cap", [16, 64, 256])
+def test_bench_cap(benchmark, cap):
+    pattern = one_dim_cyclic(SCALED.artificial_total, 8, 2048)
+    cfg = ClusterConfig.chiba_city(n_clients=8, list_io_max_regions=cap)
+    benchmark.pedantic(
+        lambda: model_point(pattern, "list", "write", cfg), rounds=3, iterations=1
+    )

@@ -1,0 +1,108 @@
+"""Microbenchmarks of the substrates: event kernel, region algebra,
+striping, cache.
+
+These are wall-clock benchmarks of the *simulator implementation* (not
+simulated time) — they guard the vectorized hot paths against regressions,
+since a slow region algebra makes paper-scale sweeps infeasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, StripeParams
+from repro.pvfs.striping import map_regions
+from repro.regions import RegionList, build_flat_indices, pair_pieces
+from repro.simulate import Resource, Simulator
+from repro.storage import BlockCache
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_bench_event_throughput(benchmark):
+    """Chained timeout events (the kernel's basic step rate)."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim):
+            for _ in range(10_000):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker(sim))
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 10_000
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_bench_resource_contention(benchmark):
+    """1000 jobs through a capacity-2 resource."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def job(sim):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+
+        for _ in range(1000):
+            sim.process(job(sim))
+        sim.run()
+        return res.total_requests
+
+    assert benchmark(run) == 1000
+
+
+@pytest.mark.benchmark(group="micro-regions")
+def test_bench_coalesce_100k(benchmark):
+    rng = np.random.default_rng(1)
+    r = RegionList(np.sort(rng.integers(0, 10**9, 100_000)), rng.integers(1, 100, 100_000))
+    out = benchmark(r.coalesced)
+    assert out.count <= r.count
+
+
+@pytest.mark.benchmark(group="micro-regions")
+def test_bench_split_at_boundaries_100k(benchmark):
+    r = RegionList.strided(0, 100_000, 100, 150)
+    out = benchmark(lambda: r.split_at_boundaries(64))
+    assert out.total_bytes == r.total_bytes
+
+
+@pytest.mark.benchmark(group="micro-regions")
+def test_bench_pair_pieces_100k(benchmark):
+    a = RegionList.strided(0, 100_000, 64, 100)
+    b = RegionList.strided(0, 50_000, 128, 200)
+    ao, bo, ln = benchmark(lambda: pair_pieces(a, b))
+    assert int(ln.sum()) == a.total_bytes
+
+
+@pytest.mark.benchmark(group="micro-regions")
+def test_bench_flat_indices_1m_bytes(benchmark):
+    r = RegionList.strided(0, 10_000, 100, 173)
+    idx = benchmark(lambda: build_flat_indices(r.offsets, r.lengths))
+    assert idx.size == r.total_bytes
+
+
+@pytest.mark.benchmark(group="micro-striping")
+def test_bench_map_regions_100k(benchmark):
+    r = RegionList.strided(0, 100_000, 149, 1200)
+    sp = StripeParams(stripe_size=16384)
+    smap = benchmark(lambda: map_regions(r, sp, 8))
+    assert smap.total_bytes == r.total_bytes
+
+
+@pytest.mark.benchmark(group="micro-cache")
+def test_bench_cache_churn(benchmark):
+    cfg = CacheConfig(capacity=1024 * 4096, block_size=4096)
+    blocks = np.arange(4096, dtype=np.int64)
+
+    def run():
+        cache = BlockCache(cfg)
+        for start in range(0, 4096, 64):
+            cache.insert("f", blocks[start : start + 64], dirty=True)
+            cache.lookup("f", blocks[start : start + 64])
+        return len(cache)
+
+    assert benchmark(run) == 1024

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Where does the time go?  Tracing and utilization for one benchmark point.
+
+Runs the 1-D cyclic read benchmark once per method with request tracing
+enabled, then prints (a) per-category latency percentiles from the tracer
+and (b) the cluster utilization report — showing that multiple I/O is
+limited by request processing on the I/O daemons, data sieving by raw
+network bandwidth, and list I/O by neither (it finishes before saturating
+anything).
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro.config import ClusterConfig
+from repro.core import DataSievingIO, ListIO, MultipleIO
+from repro.patterns import one_dim_cyclic
+from repro.pvfs import Cluster
+from repro.units import MiB, fmt_time
+
+
+def run_traced(method):
+    pattern = one_dim_cyclic(8 * MiB, 4, 1024)
+    cluster = Cluster.build(
+        ClusterConfig.chiba_city(n_clients=4), move_bytes=False, trace=True
+    )
+
+    def wl(client):
+        a = pattern.rank(client.index)
+        f = yield from client.open("/trace", create=True)
+        yield from method.read(f, None, a.mem_regions, a.file_regions)
+        yield from f.close()
+
+    result = cluster.run_workload(wl)
+    return cluster, result
+
+
+def main() -> None:
+    for method in (MultipleIO(), DataSievingIO(), ListIO()):
+        cluster, result = run_traced(method)
+        print(f"\n{'=' * 72}")
+        print(f"method: {method.name}   simulated time: {fmt_time(result.elapsed)}")
+        print(f"{'=' * 72}\n")
+        print(cluster.tracer.format_summary())
+        print(cluster.utilization_report())
+
+    print(
+        "Reading the reports: multiple I/O shows thousands of short\n"
+        "iod.service spans and busy daemons (request-processing bound);\n"
+        "data sieving shows few huge client.request spans with hot client\n"
+        "RX links (bandwidth bound, hauling unwanted bytes); list I/O's\n"
+        "spans are few AND small — the paper's point, in a trace."
+    )
+
+
+if __name__ == "__main__":
+    main()

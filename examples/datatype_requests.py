@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Datatype-described requests: the paper's closing idea, implemented.
+
+Section 5: "Support for I/O requests that use an approach similar to MPI
+datatypes ... would describe these patterns with vector datatypes.  This
+would eliminate the linear relationship between the number of contiguous
+regions and the number of I/O requests."
+
+This example reads the same strided pattern at increasing fragmentation
+through list I/O (requests grow linearly) and through VectorIO (always
+one request), and prints the request counts and simulated times side by
+side.
+
+Run:  python examples/datatype_requests.py
+"""
+
+from repro.config import ClusterConfig
+from repro.core import ListIO, VectorIO
+from repro.patterns import one_dim_cyclic
+from repro.pvfs import Cluster
+from repro.units import MiB, fmt_time
+
+
+def run(pattern, method):
+    cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
+    cluster = Cluster.build(cfg, move_bytes=False)
+
+    def workload(client):
+        access = pattern.rank(client.index)
+        f = yield from client.open("/vec", create=True)
+        yield from method.read(f, None, access.mem_regions, access.file_regions)
+        yield from f.close()
+
+    result = cluster.run_workload(workload)
+    return result.elapsed, int(result.total_logical_requests) // pattern.n_ranks
+
+
+def main() -> None:
+    total = 16 * MiB
+    n_clients = 8
+    print(f"cyclic reads of {total // MiB} MiB over {n_clients} clients; the "
+          "pattern is a perfect vector (constant block, constant stride)\n")
+    print(f"{'accesses':>9} | {'list reqs':>9} | {'vec reqs':>8} | "
+          f"{'list time':>10} | {'vec time':>10} | speedup")
+    for accesses in (1024, 4096, 16384, 65536):
+        pattern = one_dim_cyclic(total, n_clients, accesses)
+        t_list, r_list = run(pattern, ListIO())
+        t_vec, r_vec = run(pattern, VectorIO())
+        print(f"{accesses:9d} | {r_list:9d} | {r_vec:8d} | "
+              f"{fmt_time(t_list):>10} | {fmt_time(t_vec):>10} | "
+              f"{t_list / t_vec:5.1f}x")
+
+    print("\nThe vector descriptor rides in two trailing-data slots no matter "
+          "how many regions it expands to, so the request count — list I/O's "
+          "'largest drawback' — stops growing entirely.  (At coarse "
+          "fragmentation list I/O is already request-cheap and the single "
+          "monolithic vector response loses request/response pipelining, so "
+          "the payoff appears as fragmentation grows.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""FLASH checkpoint writes through all three noncontiguous methods.
+
+Reproduces the paper's Section 4.3 scenario at reduced mesh size: every
+process holds FLASH blocks (inner elements + guard cells, 24 variables
+interleaved per element) and checkpoints them into a variable-major file.
+The memory side is brutally noncontiguous (one 8-byte region per double),
+which is exactly why the paper calls FLASH "a challenging application for
+parallel I/O systems".
+
+Data sieving writes are serialized with the barrier loop, as in the paper
+(PVFS has no locks, so concurrent read-modify-write would race).
+
+Run:  python examples/flash_checkpoint.py
+"""
+
+from repro.config import ClusterConfig
+from repro.core import DataSievingIO, ListIO, MultipleIO
+from repro.mpi import Communicator
+from repro.patterns import FlashConfig, flash_io
+from repro.pvfs import Cluster
+from repro.units import fmt_bytes, fmt_time
+
+
+def run_method(pattern, method, serialize: bool) -> tuple:
+    cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
+    cluster = Cluster.build(cfg, move_bytes=False)  # timing-only byte store
+    comm = Communicator(cluster.sim, pattern.n_ranks)
+
+    def workload(client):
+        access = pattern.rank(client.index)
+        f = yield from client.open("/flash.chk", create=True)
+        if serialize:
+            yield from method.serialized_write(
+                comm, client.index, f, None, access.mem_regions, access.file_regions
+            )
+        else:
+            yield from method.write(f, None, access.mem_regions, access.file_regions)
+        yield from f.close()
+
+    result = cluster.run_workload(workload)
+    requests = int(result.total_logical_requests)
+    return result.elapsed, requests
+
+
+def main() -> None:
+    mesh = FlashConfig(n_blocks=8, nxb=4, nyb=4, nzb=4, n_vars=24, n_guard=2)
+    n_procs = 4
+    pattern = flash_io(n_procs, mesh)
+    per_proc = pattern.rank(0)
+    print("FLASH checkpoint (scaled mesh):")
+    print(f"  {n_procs} processes x {mesh.n_blocks} blocks x "
+          f"{mesh.nxb}^3 elements x {mesh.n_vars} variables")
+    print(f"  per process: {per_proc.mem_regions.count} memory regions "
+          f"(8 B each), {per_proc.n_file_regions} file regions "
+          f"({mesh.chunk_bytes} B each), {fmt_bytes(per_proc.nbytes)}")
+    print(f"  checkpoint file: {fmt_bytes(pattern.file_size)}\n")
+
+    print(f"{'method':>10} | {'simulated time':>14} | {'requests':>9} | note")
+    rows = [
+        (MultipleIO(), False, "one request per 8-byte double"),
+        (DataSievingIO(), True, "RMW windows, barrier-serialized"),
+        (ListIO(), False, "64 region pairs per request"),
+    ]
+    times = {}
+    for method, serialize, note in rows:
+        elapsed, requests = run_method(pattern, method, serialize)
+        times[method.name] = elapsed
+        print(f"{method.name:>10} | {fmt_time(elapsed):>14} | {requests:9d} | {note}")
+
+    print(f"\ndata sieving vs list I/O : {times['list'] / times['datasieve']:6.1f}x")
+    print(f"list I/O vs multiple I/O : {times['multiple'] / times['list']:6.1f}x")
+    print("\n(The paper's Figure 15 shows the same ordering: buffered sieving "
+          "wins this pattern outright, list I/O beats raw multiple I/O by "
+          "over an order of magnitude.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Tiled visualization reads with open/read/close breakdown (Figure 17).
+
+Six simulated display nodes each read their tile of a ~10.2 MB frame file
+(3x2 displays, 1024x768 at 24-bit colour, 270/128-pixel overlaps — the
+paper's exact geometry).  Each tile is 768 noncontiguous row runs, so list
+I/O needs only ceil(768/64) = 12 requests where multiple I/O needs 768.
+
+Run:  python examples/tiled_visualization.py
+"""
+
+from repro.config import ClusterConfig
+from repro.core import DataSievingIO, ListIO, MultipleIO
+from repro.patterns import TiledConfig, tiled_visualization
+from repro.pvfs import Cluster
+from repro.units import fmt_bytes, fmt_time
+
+
+def run_method(pattern, method):
+    cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
+    cluster = Cluster.build(cfg, move_bytes=False)
+    phases = {"open": [], "read": [], "close": []}
+
+    def workload(client):
+        access = pattern.rank(client.index)
+        sim = client.sim
+        t0 = sim.now
+        f = yield from client.open("/frame.rgb", create=True)
+        t1 = sim.now
+        yield from method.read(f, None, access.mem_regions, access.file_regions)
+        t2 = sim.now
+        yield from f.close()
+        t3 = sim.now
+        phases["open"].append(t1 - t0)
+        phases["read"].append(t2 - t1)
+        phases["close"].append(t3 - t2)
+
+    result = cluster.run_workload(workload)
+    return result, {k: max(v) for k, v in phases.items()}
+
+
+def main() -> None:
+    geometry = TiledConfig()
+    pattern = tiled_visualization(geometry)
+    print("tiled visualization (paper geometry):")
+    print(f"  {geometry.tiles_x}x{geometry.tiles_y} displays of "
+          f"{geometry.tile_width}x{geometry.tile_height} @ 24-bit colour")
+    print(f"  overlaps {geometry.overlap_x}/{geometry.overlap_y} px -> frame "
+          f"{geometry.frame_width}x{geometry.frame_height}, file "
+          f"{fmt_bytes(geometry.file_size)}")
+    print(f"  {pattern.n_ranks} clients, {geometry.regions_per_tile} row runs each\n")
+
+    print(f"{'method':>10} | {'open':>10} | {'read':>10} | {'close':>10} | {'total':>10} | reqs/client")
+    for method in (MultipleIO(), DataSievingIO(), ListIO()):
+        result, phases = run_method(pattern, method)
+        reqs = int(result.total_logical_requests) // pattern.n_ranks
+        print(f"{method.name:>10} | {fmt_time(phases['open']):>10} "
+              f"| {fmt_time(phases['read']):>10} | {fmt_time(phases['close']):>10} "
+              f"| {fmt_time(result.elapsed):>10} | {reqs}")
+
+    print("\nOpen and close are metadata round-trips to the manager daemon; "
+          "the read phase is where the methods separate.  The paper reports "
+          "list I/O 'more than twice as well as either of the other two "
+          "methods' on this workload.")
+
+
+if __name__ == "__main__":
+    main()

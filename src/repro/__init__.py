@@ -1,0 +1,52 @@
+"""pvfs-sim: reproduction of "Noncontiguous I/O through PVFS" (CLUSTER 2002).
+
+The public API is re-exported here; see README.md for a tour.
+"""
+
+from .config import (
+    CacheConfig,
+    ClusterConfig,
+    CostModel,
+    DiskConfig,
+    NetworkConfig,
+    StripeParams,
+)
+from .errors import ReproError
+from .regions import RegionList
+
+# Higher layers (import order matters: these pull in network/storage/pvfs).
+from .core import (
+    DataSievingIO,
+    HybridIO,
+    ListIO,
+    MultipleIO,
+    VectorIO,
+    pvfs_read_list,
+    pvfs_write_list,
+)
+from .mpi import Communicator
+from .pvfs import Cluster, WorkloadResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "NetworkConfig",
+    "DiskConfig",
+    "CacheConfig",
+    "CostModel",
+    "StripeParams",
+    "RegionList",
+    "ReproError",
+    "Cluster",
+    "WorkloadResult",
+    "Communicator",
+    "MultipleIO",
+    "DataSievingIO",
+    "ListIO",
+    "HybridIO",
+    "VectorIO",
+    "pvfs_read_list",
+    "pvfs_write_list",
+    "__version__",
+]

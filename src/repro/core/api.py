@@ -1,0 +1,59 @@
+"""The paper's user-facing interface (Section 3.3), verbatim shape:
+
+    pvfs_read_list(int mem_list_count, char *mem_offsets[], char mem_lengths[],
+                   int file_list_count, int file_offsets[], int file_lengths[])
+
+Pythonized: counts are implicit in the array lengths, the memory target is
+an explicit buffer, and the calls are simulation processes operating on an
+open :class:`~repro.pvfs.client.PVFSFile`.  These wrappers always use list
+I/O — they are the new PVFS entry points the paper adds; the other methods
+exist as :class:`~repro.core.base.AccessMethod` strategies for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..regions import RegionList
+from ..pvfs.client import PVFSFile
+from .listio import ListIO
+
+__all__ = ["pvfs_read_list", "pvfs_write_list"]
+
+_method = ListIO()
+
+
+def pvfs_read_list(
+    f: PVFSFile,
+    memory: Optional[np.ndarray],
+    mem_offsets: Sequence[int],
+    mem_lengths: Sequence[int],
+    file_offsets: Sequence[int],
+    file_lengths: Sequence[int],
+):
+    """Noncontiguous read through native list I/O (simulation process)."""
+    yield from _method.read(
+        f,
+        memory,
+        RegionList(mem_offsets, mem_lengths),
+        RegionList(file_offsets, file_lengths),
+    )
+
+
+def pvfs_write_list(
+    f: PVFSFile,
+    memory: Optional[np.ndarray],
+    mem_offsets: Sequence[int],
+    mem_lengths: Sequence[int],
+    file_offsets: Sequence[int],
+    file_lengths: Sequence[int],
+):
+    """Noncontiguous write through native list I/O (simulation process)."""
+    yield from _method.write(
+        f,
+        memory,
+        RegionList(mem_offsets, mem_lengths),
+        RegionList(file_offsets, file_lengths),
+    )

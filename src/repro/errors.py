@@ -1,0 +1,87 @@
+"""Exception hierarchy for pvfs-sim.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` from bad call signatures, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RegionError",
+    "SimulationError",
+    "DeadlockError",
+    "NetworkError",
+    "StorageError",
+    "PVFSError",
+    "FileNotOpenError",
+    "NoSuchFileError",
+    "FileExistsError_",
+    "ProtocolError",
+    "ConfigError",
+    "PatternError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by pvfs-sim."""
+
+
+class RegionError(ReproError):
+    """Raised for invalid region lists (negative lengths, overflow, mismatched
+    memory/file byte counts, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event kernel (scheduling in the past,
+    triggering an already-triggered event, running a finished simulation)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when :meth:`repro.simulate.Simulator.run` is asked to run to
+    completion but live processes remain with no scheduled events."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid network operations (unknown node, zero-byte
+    transfer to self, malformed message)."""
+
+
+class StorageError(ReproError):
+    """Raised by the disk / cache / byte-store substrate."""
+
+
+class PVFSError(ReproError):
+    """Base class for file-system level failures."""
+
+
+class FileNotOpenError(PVFSError):
+    """An operation was attempted on a closed file handle."""
+
+
+class NoSuchFileError(PVFSError):
+    """The named file does not exist on the manager."""
+
+
+class FileExistsError_(PVFSError):
+    """``create=True, exclusive=True`` open of an existing file."""
+
+
+class ProtocolError(PVFSError):
+    """A malformed request or response crossed the simulated wire."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration (non-positive bandwidth, zero
+    servers, stripe size that is not a positive integer, ...)."""
+
+
+class PatternError(ReproError):
+    """Raised by access-pattern generators for infeasible parameters
+    (e.g. a block-block decomposition whose client count is not a square)."""
+
+
+class ModelError(ReproError):
+    """Raised by the analytic performance model."""

@@ -1,0 +1,108 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+::
+
+    pvfs-sim --figure 9 --scale paper --mode model
+    pvfs-sim --figure 15 --scale scaled --mode des --csv out.csv
+    pvfs-sim --all --scale scaled
+
+``model`` mode evaluates the analytic bound model (fast, any scale);
+``des`` mode runs the discrete-event simulator (exact event accounting,
+use ``scaled``/``smoke``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .artificial import figure9, figure10, figure11, figure12
+from .collective import figure18
+from .flashio import figure15
+from .presets import SCALES
+from .report import FigureResult, points_to_csv
+from .tiledvis import figure17
+
+__all__ = ["main", "FIGURES"]
+
+#: 9-17 are the paper's results figures; 18 is this repository's extension
+#: experiment (two-phase collective I/O), DES-only.
+FIGURES: Dict[str, Callable] = {
+    "9": figure9,
+    "10": figure10,
+    "11": figure11,
+    "12": figure12,
+    "15": figure15,
+    "17": figure17,
+    "18": figure18,
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="pvfs-sim",
+        description="Reproduce 'Noncontiguous I/O through PVFS' (CLUSTER 2002)",
+    )
+    g = p.add_mutually_exclusive_group(required=True)
+    g.add_argument("--figure", choices=sorted(FIGURES, key=int), help="figure number")
+    g.add_argument("--all", action="store_true", help="run every figure")
+    p.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="scaled",
+        help="parameter scale (default: scaled)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("model", "des"),
+        default=None,
+        help="engine (default: model for paper scale, des otherwise)",
+    )
+    p.add_argument("--csv", metavar="PATH", help="write raw points as CSV")
+    p.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII charts of each figure after its table",
+    )
+    return p
+
+
+def _run_one(fig: str, scale_name: str, mode: str) -> FigureResult:
+    scale = SCALES[scale_name]
+    driver = FIGURES[fig]
+    return driver(scale=scale, mode=mode)
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    scale = SCALES[args.scale]
+    mode = args.mode or ("model" if not scale.des_friendly else "des")
+    if mode == "des" and not scale.des_friendly:
+        print(
+            f"error: the '{scale.name}' scale is too large for the simulator; "
+            "use --mode model or --scale scaled",
+            file=sys.stderr,
+        )
+        return 2
+    figures = sorted(FIGURES, key=int) if args.all else [args.figure]
+    all_points = []
+    failed = False
+    for fig in figures:
+        result = _run_one(fig, args.scale, mode)
+        print(result.markdown())
+        if args.plot:
+            from .plot import render_figure
+
+            print(render_figure(result))
+        all_points.extend(result.points)
+        failed = failed or not result.all_passed
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(points_to_csv(all_points))
+        print(f"wrote {len(all_points)} points to {args.csv}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Result comparison: diff two experiment CSV dumps.
+
+Calibration work needs to answer "what did this constant change do to
+every figure?"  :func:`compare_csv` matches points by
+(figure, series, mode, kind, n_clients, x) and reports per-point ratios
+plus per-figure aggregates; :func:`format_comparison` renders markdown.
+
+Used by humans via::
+
+    pvfs-sim --all --scale paper --mode model --csv before.csv
+    # ...edit repro/config.py...
+    pvfs-sim --all --scale paper --mode model --csv after.csv
+    python -m repro.experiments.compare before.csv after.csv
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["PointDelta", "Comparison", "compare_csv", "format_comparison", "main"]
+
+Key = Tuple[str, str, str, str, int, float]
+
+
+class CompareError(ReproError):
+    """Malformed or incomparable result files."""
+
+
+@dataclass(frozen=True)
+class PointDelta:
+    """One matched point's change."""
+
+    key: Key
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return math.inf if self.after > 0 else 1.0
+        return self.after / self.before
+
+    @property
+    def figure(self) -> str:
+        return self.key[0]
+
+
+@dataclass
+class Comparison:
+    """All matched/unmatched points of a comparison."""
+
+    deltas: List[PointDelta]
+    only_before: List[Key]
+    only_after: List[Key]
+
+    @property
+    def max_ratio(self) -> float:
+        return max((d.ratio for d in self.deltas), default=1.0)
+
+    @property
+    def min_ratio(self) -> float:
+        return min((d.ratio for d in self.deltas), default=1.0)
+
+    def per_figure(self) -> Dict[str, Dict[str, float]]:
+        grouped: Dict[str, List[float]] = {}
+        for d in self.deltas:
+            grouped.setdefault(d.figure, []).append(d.ratio)
+        out = {}
+        for fig, ratios in sorted(grouped.items()):
+            ratios.sort()
+            out[fig] = {
+                "points": float(len(ratios)),
+                "min": ratios[0],
+                "median": ratios[len(ratios) // 2],
+                "max": ratios[-1],
+            }
+        return out
+
+    def worst(self, n: int = 5) -> List[PointDelta]:
+        return sorted(self.deltas, key=lambda d: abs(math.log(max(d.ratio, 1e-12))))[
+            -n:
+        ][::-1]
+
+
+def _load(path: str) -> Dict[Key, float]:
+    out: Dict[Key, float] = {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"figure", "series", "mode", "kind", "n_clients", "x", "elapsed_s"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise CompareError(
+                f"{path}: not an experiment CSV (need columns {sorted(required)})"
+            )
+        for row in reader:
+            key: Key = (
+                row["figure"],
+                row["series"],
+                row["mode"],
+                row["kind"],
+                int(row["n_clients"]),
+                float(row["x"]),
+            )
+            out[key] = float(row["elapsed_s"])
+    return out
+
+
+def compare_csv(before_path: str, after_path: str) -> Comparison:
+    before = _load(before_path)
+    after = _load(after_path)
+    deltas = [
+        PointDelta(k, before[k], after[k]) for k in sorted(before.keys() & after.keys())
+    ]
+    return Comparison(
+        deltas=deltas,
+        only_before=sorted(before.keys() - after.keys()),
+        only_after=sorted(after.keys() - before.keys()),
+    )
+
+
+def format_comparison(cmp: Comparison) -> str:
+    lines = ["# result comparison", ""]
+    if not cmp.deltas:
+        lines.append("no matching points.")
+        return "\n".join(lines) + "\n"
+    lines.append(f"matched points: {len(cmp.deltas)}")
+    lines.append(
+        f"ratio range (after/before): {cmp.min_ratio:.3f} .. {cmp.max_ratio:.3f}"
+    )
+    lines.append("")
+    lines.append("| figure | points | min | median | max |")
+    lines.append("|---|---|---|---|---|")
+    for fig, s in cmp.per_figure().items():
+        lines.append(
+            f"| {fig} | {int(s['points'])} | {s['min']:.3f} | {s['median']:.3f} "
+            f"| {s['max']:.3f} |"
+        )
+    lines.append("")
+    lines.append("largest changes:")
+    for d in cmp.worst(5):
+        fig, series, mode, kind, n, x = d.key
+        lines.append(
+            f"- {fig}/{series} ({kind}, {n} clients, x={x:g}): "
+            f"{d.before:.3f}s -> {d.after:.3f}s ({d.ratio:.2f}x)"
+        )
+    if cmp.only_before:
+        lines.append(f"\npoints only in before: {len(cmp.only_before)}")
+    if cmp.only_after:
+        lines.append(f"points only in after: {len(cmp.only_after)}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.experiments.compare BEFORE.csv AFTER.csv")
+        return 2
+    print(format_comparison(compare_csv(argv[0], argv[1])))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Terminal (ASCII) rendering of figure series.
+
+The paper's figures are line charts (time vs number of accesses, linear or
+log-scale) and grouped bars (FLASH, tiled).  This module renders both as
+plain text so ``pvfs-sim --plot`` and EXPERIMENTS.md can show curve shapes
+without any plotting dependency.
+
+The renderer is deliberately simple: a fixed character grid, one marker
+per series, optional log-y — enough to see "linear vs flat vs two orders
+apart" at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .harness import DataPoint
+from .report import FigureResult
+
+__all__ = ["ascii_chart", "ascii_bars", "render_figure"]
+
+_MARKERS = "oxs*+#@%"
+
+
+def _format_val(v: float) -> str:
+    if v >= 1000:
+        return f"{v:.3g}"
+    if v >= 1:
+        return f"{v:.1f}"
+    return f"{v:.3f}"
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    y_label: str = "seconds",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Returns a multi-line string: title, chart rows with a y-axis scale,
+    x-range footer, and a marker legend.
+    """
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return f"{title}\n(no data)\n"
+    xs = [p[0] for p in pts]
+    ys = [max(p[1], 1e-12) for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        y_lo, y_hi = math.log10(y_lo), math.log10(max(y_hi, y_lo * 1.0001))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        yy = math.log10(max(y, 1e-12)) if log_y else y
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((yy - y_lo) / (y_hi - y_lo) * (height - 1))
+        r = height - 1 - row
+        if grid[r][col] not in (" ", marker):
+            grid[r][col] = "&"  # overlapping series
+        else:
+            grid[r][col] = marker
+
+    legend = []
+    for i, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in data:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = (
+        f"1e{y_hi:.1f}" if log_y else _format_val(y_hi)
+    )
+    bot_label = (
+        f"1e{y_lo:.1f}" if log_y else _format_val(y_lo)
+    )
+    label_w = max(len(top_label), len(bot_label))
+    for r, row in enumerate(grid):
+        label = top_label if r == 0 else (bot_label if r == height - 1 else "")
+        lines.append(f"{label:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        f"{' ' * label_w}  x: {x_lo:g} .. {x_hi:g}    y: {y_label}"
+        + ("  (log scale)" if log_y else "")
+    )
+    lines.append(" " * label_w + "  " + "   ".join(legend))
+    return "\n".join(lines) + "\n"
+
+
+def ascii_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    log: bool = False,
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Horizontal bars, optionally log-scaled (the paper's Figure 15
+    style)."""
+    if not values:
+        return f"{title}\n(no data)\n"
+    label_w = max(len(k) for k in values)
+    vmax = max(max(values.values()), 1e-12)
+    positive = [v for v in values.values() if v > 0]
+    vmin = min(positive) if positive else vmax
+    # Anchor the log axis one decade below the smallest value (the paper's
+    # log plots start below their smallest bar) so every bar is visible.
+    lo = vmin / 10.0
+    lines = [title] if title else []
+    for name, v in values.items():
+        if log and vmax > lo:
+            frac = (math.log10(max(v, lo)) - math.log10(lo)) / (
+                math.log10(vmax) - math.log10(lo)
+            )
+        else:
+            frac = v / vmax
+        bar = "#" * max(int(frac * width), 1 if v > 0 else 0)
+        lines.append(f"{name:>{label_w}} | {bar} {_format_val(v)} {unit}")
+    if log:
+        lines.append(f"{'':>{label_w}}   (log scale)")
+    return "\n".join(lines) + "\n"
+
+
+def render_figure(result: FigureResult, log_y: Optional[bool] = None) -> str:
+    """Render a FigureResult the way the paper presents it: one chart per
+    client count for sweeps, bars for single-x figures."""
+    out = [f"== {result.figure}: {result.title} ==", ""]
+    groups = sorted({(p.n_clients, p.mode) for p in result.points})
+    for n_clients, mode in groups:
+        pts = [
+            p for p in result.points if p.n_clients == n_clients and p.mode == mode
+        ]
+        xs = {p.x for p in pts}
+        use_log = log_y if log_y is not None else (pts[0].kind == "write")
+        if len(xs) == 1:
+            values = {p.series: p.elapsed for p in pts}
+            out.append(
+                ascii_bars(
+                    values,
+                    log=use_log,
+                    title=f"{n_clients} clients ({mode})",
+                )
+            )
+        else:
+            series: Dict[str, List[Tuple[float, float]]] = {}
+            for p in pts:
+                series.setdefault(p.series, []).append((p.x, p.elapsed))
+            for s in series.values():
+                s.sort()
+            out.append(
+                ascii_chart(
+                    series,
+                    log_y=use_log,
+                    title=f"{n_clients} clients ({mode})",
+                )
+            )
+    return "\n".join(out)

@@ -1,0 +1,87 @@
+"""Experiment scale presets.
+
+Three scales, same topology and cost model throughout:
+
+* ``paper`` — the exact parameter grids of the evaluation section (1 GiB
+  aggregate, up to 10^6 accesses, full FLASH mesh).  Run through the
+  analytic model: request counts are exact, time is the model's bound
+  analysis.
+* ``scaled`` — 1/64 aggregate volume with access counts reduced so the
+  *shape* of every curve survives; small enough for the discrete-event
+  simulator in seconds per point.
+* ``smoke`` — minimal geometry for unit tests and CI.
+
+EXPERIMENTS.md records the paper-scale model results next to the scaled
+DES results so the two can be compared point by point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..patterns import FlashConfig, TiledConfig
+from ..units import GiB, MiB
+
+__all__ = ["Scale", "SCALES", "PAPER", "SCALED", "SMOKE"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One consistent set of benchmark parameters."""
+
+    name: str
+    #: Aggregate volume for the artificial benchmark (paper: 1 GiB).
+    artificial_total: int
+    #: "Number of accesses" sweep, per client (paper x-axis: 0 .. 10^6).
+    accesses_sweep: Tuple[int, ...]
+    #: Client counts for the 1-D cyclic figures (paper: 8, 16, 32).
+    cyclic_clients: Tuple[int, ...]
+    #: Client counts for the block-block figures (paper: 4, 9, 16).
+    blockblock_clients: Tuple[int, ...]
+    #: FLASH client sweep (paper: 2..32) and mesh.
+    flash_clients: Tuple[int, ...]
+    flash: FlashConfig
+    #: Tiled visualization geometry (paper: 3x2 x 1024x768x24bpp).
+    tiled: TiledConfig
+    #: Whether the discrete-event simulator is expected to run this scale.
+    des_friendly: bool
+
+
+PAPER = Scale(
+    name="paper",
+    artificial_total=1 * GiB,
+    accesses_sweep=(25_000, 50_000, 100_000, 200_000, 400_000, 800_000),
+    cyclic_clients=(8, 16, 32),
+    blockblock_clients=(4, 9, 16),
+    flash_clients=(2, 4, 8, 16, 32),
+    flash=FlashConfig(),
+    tiled=TiledConfig(),
+    des_friendly=False,
+)
+
+SCALED = Scale(
+    name="scaled",
+    artificial_total=16 * MiB,
+    accesses_sweep=(512, 1024, 2048, 4096, 8192),
+    cyclic_clients=(8, 16, 32),
+    blockblock_clients=(4, 9, 16),
+    flash_clients=(2, 4, 8),
+    flash=FlashConfig(n_blocks=8, nxb=4, nyb=4, nzb=4, n_vars=24, n_guard=2),
+    tiled=TiledConfig(),  # 10 MB is already simulator-friendly
+    des_friendly=True,
+)
+
+SMOKE = Scale(
+    name="smoke",
+    artificial_total=1 * MiB,
+    accesses_sweep=(64, 256),
+    cyclic_clients=(4,),
+    blockblock_clients=(4,),
+    flash_clients=(2,),
+    flash=FlashConfig(n_blocks=2, nxb=2, nyb=2, nzb=2, n_vars=4, n_guard=1),
+    tiled=TiledConfig(tiles_x=3, tiles_y=2, tile_width=64, tile_height=48, overlap_x=16, overlap_y=8),
+    des_friendly=True,
+)
+
+SCALES: Dict[str, Scale] = {s.name: s for s in (PAPER, SCALED, SMOKE)}

@@ -1,0 +1,5 @@
+"""Simulated MPI substrate (barrier / bcast / gather over the DES kernel)."""
+
+from .comm import Communicator
+
+__all__ = ["Communicator"]

@@ -1,0 +1,6 @@
+"""MPI-IO on simulated PVFS: file views + two-phase collective I/O."""
+
+from .file import MPIFile, MPIIOError, open_one
+from .view import FileView
+
+__all__ = ["MPIFile", "MPIIOError", "open_one", "FileView"]

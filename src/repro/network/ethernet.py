@@ -1,0 +1,59 @@
+"""Frame-level Ethernet math.
+
+The paper's list I/O design point — "up to 64 contiguous file regions ...
+chosen to allow the I/O request and trailing data to travel through the
+network in a single Ethernet packet (1500 bytes)" (Section 3.3) — makes the
+frame model load-bearing, so it gets a dedicated, heavily-tested class.
+
+:class:`EthernetModel` wraps a :class:`~repro.config.NetworkConfig` and
+answers "how long does a message of n payload bytes occupy the wire".  The
+same math is used by the live simulator and the analytic model so the two
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NetworkConfig
+
+__all__ = ["EthernetModel"]
+
+
+@dataclass(frozen=True)
+class EthernetModel:
+    """Serialization / latency math over a :class:`NetworkConfig`."""
+
+    cfg: NetworkConfig
+
+    @property
+    def mtu_payload(self) -> int:
+        return self.cfg.mtu_payload
+
+    def frames_for(self, payload: int) -> int:
+        return self.cfg.frames_for(payload)
+
+    def wire_bytes(self, payload: int) -> int:
+        return self.cfg.wire_bytes(payload)
+
+    def transmit_time(self, payload: int) -> float:
+        """Seconds a ``payload``-byte message occupies a link (no latency)."""
+        return self.cfg.transmit_time(payload)
+
+    def message_time(self, payload: int) -> float:
+        """End-to-end time for one message on an idle network."""
+        return self.cfg.latency + self.transmit_time(payload)
+
+    def roundtrip_time(self, request_payload: int, response_payload: int) -> float:
+        """Idle-network request/response exchange time."""
+        return self.message_time(request_payload) + self.message_time(response_payload)
+
+    def fits_one_frame(self, payload: int) -> bool:
+        """Whether ``payload`` bytes (plus IP/TCP headers) fit one MTU —
+        the paper's criterion for the 64-region trailing-data cap."""
+        return payload <= self.mtu_payload
+
+    def max_regions_per_frame(self, header_bytes: int, bytes_per_region: int) -> int:
+        """Largest region count whose request still fits one frame."""
+        room = self.mtu_payload - header_bytes
+        return max(room // bytes_per_region, 0)

@@ -1,0 +1,116 @@
+"""The switched-Ethernet fabric: nodes, NICs, and the transfer process.
+
+Topology model (matches the paper's testbed): every node hangs off one
+non-blocking switch with full-duplex 100 Mbit/s links.  Each node therefore
+owns two independent unit-capacity resources — its transmit link and its
+receive link.  A message transfer:
+
+1. claims the sender's TX link (a busy NIC serializes its own sends),
+2. claims the receiver's RX link (many-to-one traffic queues FCFS at the
+   receiver — this is where I/O servers melt under multiple I/O),
+3. holds both for ``latency + serialization`` time, then releases.
+
+Because each transfer needs exactly one TX and one RX resource and always
+acquires TX first, no acquisition cycle can form and the model is
+deadlock-free.
+
+Transfers between co-located endpoints (e.g. the manager daemon sharing
+I/O node 0, per the paper's setup) bypass the NICs and pay a memory-copy
+cost instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..config import NetworkConfig
+from ..errors import NetworkError
+from ..simulate import Counters, Resource, Simulator
+from .ethernet import EthernetModel
+
+__all__ = ["Node", "Network"]
+
+#: Latency charged for a loop-back (same node) message.
+_LOOPBACK_LATENCY = 5e-6
+#: Memory bandwidth used for loop-back message payloads (bytes/s).
+_LOOPBACK_RATE = 400.0e6
+
+
+class Node:
+    """A cluster node with one full-duplex NIC."""
+
+    __slots__ = ("name", "tx", "rx", "bytes_sent", "bytes_received", "messages_sent")
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.name = name
+        self.tx = Resource(sim, capacity=1, name=f"{name}.tx")
+        self.rx = Resource(sim, capacity=1, name=f"{name}.rx")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name}>"
+
+
+class Network:
+    """Registry of nodes + the message transfer primitive."""
+
+    def __init__(self, sim: Simulator, cfg: NetworkConfig, counters: Optional[Counters] = None) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.ethernet = EthernetModel(cfg)
+        self.counters = counters if counters is not None else Counters()
+        self._nodes: Dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> Node:
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node name {name!r}")
+        node = Node(self.sim, name)
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    def transfer(self, src: Node, dst: Node, payload: int) -> Generator:
+        """Simulation process moving ``payload`` bytes from ``src`` to
+        ``dst``.  Use as ``yield from net.transfer(a, b, n)`` inside a
+        process, or wrap with ``sim.process`` to run concurrently.
+
+        Returns the number of wire bytes consumed.
+        """
+        if payload < 0:
+            raise NetworkError(f"negative payload: {payload}")
+        sim = self.sim
+        if src is dst:
+            # Same physical node: kernel loopback, no NIC involvement.
+            yield sim.timeout(_LOOPBACK_LATENCY + payload / _LOOPBACK_RATE)
+            self.counters.add("net.loopback_messages")
+            return payload
+        wire = self.cfg.wire_bytes(payload)
+        duration = self.cfg.latency + self.cfg.transmit_time(payload)
+        with src.tx.request() as t:
+            yield t
+            with dst.rx.request() as r:
+                yield r
+                yield sim.timeout(duration)
+        src.bytes_sent += payload
+        src.messages_sent += 1
+        dst.bytes_received += payload
+        self.counters.add("net.messages")
+        self.counters.add("net.payload_bytes", payload)
+        self.counters.add("net.wire_bytes", wire)
+        return wire
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={self.n_nodes}>"

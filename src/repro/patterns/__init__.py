@@ -1,0 +1,21 @@
+"""Benchmark access patterns: the paper's four workload families."""
+
+from .base import Pattern, RankAccess
+from .blockblock import block_block
+from .cyclic import one_dim_cyclic
+from .flash import FlashConfig, flash_io
+from .synthetic import random_fragments, uniform_fragments
+from .tiled import TiledConfig, tiled_visualization
+
+__all__ = [
+    "Pattern",
+    "RankAccess",
+    "one_dim_cyclic",
+    "block_block",
+    "FlashConfig",
+    "flash_io",
+    "TiledConfig",
+    "tiled_visualization",
+    "uniform_fragments",
+    "random_fragments",
+]

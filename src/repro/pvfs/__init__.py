@@ -1,0 +1,39 @@
+"""Simulated PVFS: manager, I/O daemons, client library, and striping."""
+
+from .client import PVFSClient, PVFSFile
+from .cluster import Cluster, WorkloadResult
+from .iod import IOD
+from .manager import Manager
+from .metadata import FileMetadata, Namespace
+from .protocol import (
+    BYTES_PER_REGION,
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    IORequest,
+    ManagerRequest,
+    request_wire_bytes,
+    response_wire_bytes,
+)
+from .striping import ServerSlice, StripeMap, map_regions, server_for_offset
+
+__all__ = [
+    "Cluster",
+    "WorkloadResult",
+    "PVFSClient",
+    "PVFSFile",
+    "IOD",
+    "Manager",
+    "FileMetadata",
+    "Namespace",
+    "IORequest",
+    "ManagerRequest",
+    "request_wire_bytes",
+    "response_wire_bytes",
+    "REQUEST_HEADER_BYTES",
+    "RESPONSE_HEADER_BYTES",
+    "BYTES_PER_REGION",
+    "StripeMap",
+    "ServerSlice",
+    "map_regions",
+    "server_for_offset",
+]

@@ -1,0 +1,340 @@
+"""The PVFS client library: open/close plus contiguous and list I/O.
+
+Every operation is a *simulation process* — call it with ``yield from``
+inside another process (or wrap in ``sim.process``).  The flow of one
+logical I/O request mirrors PVFS:
+
+1. the client library pays its per-request (and per-region, for list
+   requests) CPU cost,
+2. the logical regions are striped into per-server slices
+   (:func:`repro.pvfs.striping.map_regions`),
+3. one message per involved server goes out — a contiguous request for a
+   single region, or a list request whose trailing data describes that
+   server's regions — all servers are worked in parallel,
+4. the client blocks until every involved server has responded, then
+   reassembles the stream (reads) and returns.
+
+Requests describing more regions than ``list_io_max_regions`` are broken
+into several logical requests, exactly as the paper's implementation does
+(Section 3.3).
+
+Request accounting: ``logical_requests`` counts application-level I/O
+requests (what the paper's request-count formulas predict);
+``server_messages`` counts the per-server messages those fanned out into.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import FileNotOpenError, PVFSError
+from ..regions import RegionList
+from ..simulate import Event
+from .protocol import IORequest, ManagerRequest
+from .striping import map_regions
+
+__all__ = ["PVFSClient", "PVFSFile"]
+
+
+class PVFSFile:
+    """An open file handle bound to one client.
+
+    ``size`` is the client-local view of EOF: the size reported by the
+    manager at open time, grown by this client's own writes.  (PVFS 1.x
+    only refreshed remote size metadata on demand; the benchmarks never
+    depend on cross-client size visibility mid-run.)
+    """
+
+    def __init__(self, client: "PVFSClient", meta) -> None:
+        self.client = client
+        self.file_id = meta.file_id
+        self.path = meta.path
+        self.stripe = meta.stripe
+        self.size = meta.size
+        self._open = True
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise FileNotOpenError(f"{self.path} is closed")
+
+    # ------------------------------------------------------------------
+    # Contiguous operations
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int):
+        """Read one contiguous region (simulation process)."""
+        data = yield from self.read_list(RegionList.single(offset, length))
+        return data
+
+    def write(self, offset: int, data: Optional[np.ndarray], length: Optional[int] = None):
+        """Write one contiguous region (simulation process).
+
+        Pass ``data=None`` with an explicit ``length`` in timing-only runs.
+        """
+        n = int(length if length is not None else data.size)
+        yield from self.write_list(RegionList.single(offset, n), data)
+
+    # ------------------------------------------------------------------
+    # List I/O — the paper's contribution (pvfs_read_list / pvfs_write_list)
+    # ------------------------------------------------------------------
+    def read_list(self, file_regions: RegionList):
+        """Noncontiguous read.  Returns the concatenated byte stream of the
+        regions (in region order), or ``None`` in timing-only mode."""
+        self._check_open()
+        regions = file_regions.drop_empty()
+        move = self.client.move_bytes
+        out = np.zeros(regions.total_bytes, dtype=np.uint8) if move else None
+        pos = 0
+        for chunk in regions.chunks_of(self.client.list_io_max_regions):
+            piece = yield from self._io_request("read", chunk, None)
+            if move:
+                out[pos : pos + chunk.total_bytes] = piece
+            pos += chunk.total_bytes
+        return out
+
+    def write_list(self, file_regions: RegionList, data: Optional[np.ndarray]):
+        """Noncontiguous write of ``data`` (the stream for the regions in
+        order).  ``data=None`` in timing-only mode."""
+        self._check_open()
+        regions = file_regions.drop_empty()
+        move = self.client.move_bytes
+        if move:
+            if data is None:
+                raise PVFSError("write_list needs data when the cluster moves bytes")
+            data = np.asarray(data, dtype=np.uint8).ravel()
+            if data.size != regions.total_bytes:
+                raise PVFSError(
+                    f"write_list data is {data.size} B but regions describe "
+                    f"{regions.total_bytes} B"
+                )
+        pos = 0
+        for chunk in regions.chunks_of(self.client.list_io_max_regions):
+            n = chunk.total_bytes
+            stream = data[pos : pos + n] if move else None
+            yield from self._io_request("write", chunk, stream)
+            pos += n
+        end = regions.extent[1]
+        if end > self.size:
+            self.size = end
+
+    # ------------------------------------------------------------------
+    # Datatype-described requests (paper Section 5 future work)
+    # ------------------------------------------------------------------
+    def read_described(self, file_regions: RegionList, descriptor_slots: int = 2):
+        """Noncontiguous read whose regions are conveyed by a compact
+        datatype descriptor of ``descriptor_slots`` 16-byte slots instead of
+        per-region trailing data — ONE logical request regardless of region
+        count (the Section 5 'vector datatype' extension)."""
+        self._check_open()
+        regions = file_regions.drop_empty()
+        if regions.count == 0:
+            return np.zeros(0, dtype=np.uint8) if self.client.move_bytes else None
+        data = yield from self._io_request(
+            "read", regions, None, wire_regions=descriptor_slots
+        )
+        return data
+
+    def write_described(
+        self,
+        file_regions: RegionList,
+        data: Optional[np.ndarray],
+        descriptor_slots: int = 2,
+    ):
+        """Datatype-described noncontiguous write (one logical request)."""
+        self._check_open()
+        regions = file_regions.drop_empty()
+        if regions.count == 0:
+            return
+        if self.client.move_bytes:
+            if data is None:
+                raise PVFSError("write_described needs data when moving bytes")
+            data = np.asarray(data, dtype=np.uint8).ravel()
+            if data.size != regions.total_bytes:
+                raise PVFSError(
+                    f"write_described data is {data.size} B but regions "
+                    f"describe {regions.total_bytes} B"
+                )
+        yield from self._io_request("write", regions, data, wire_regions=descriptor_slots)
+        end = regions.extent[1]
+        if end > self.size:
+            self.size = end
+
+    # ------------------------------------------------------------------
+    def _io_request(
+        self,
+        kind: str,
+        regions: RegionList,
+        stream: Optional[np.ndarray],
+        wire_regions: Optional[int] = None,
+    ):
+        """One logical request: fan out per server, wait for all responses."""
+        client = self.client
+        sim = client.sim
+        costs = client.costs
+        t_start = sim.now
+        client.scope.add("logical_requests")
+        client.scope.add(f"{kind}_bytes", regions.total_bytes)
+        yield sim.timeout(
+            costs.client_request_cost + costs.client_region_cost * regions.count
+        )
+        smap = map_regions(regions, self.stripe, client.n_iods)
+        if smap.n_servers == 0:
+            return np.zeros(0, dtype=np.uint8) if client.move_bytes else None
+        procs = []
+        for sl in smap:
+            payload = None
+            if kind == "write" and stream is not None:
+                payload = stream[sl.gather_stream_indices()]
+            req = IORequest(
+                kind=kind,
+                file_id=self.file_id,
+                regions=sl.physical,
+                client_node=client.node,
+                response=Event(sim),
+                data=payload,
+                wire_regions=wire_regions,
+            )
+            client.scope.add("server_messages")
+            procs.append(sim.process(client._send(req, sl.server)))
+        results = yield sim.all_of(procs)
+        if kind == "write":
+            # Per-exchange turnaround stall (see CostModel.client_write_turnaround).
+            yield sim.timeout(costs.client_write_turnaround)
+        tracer = client.cluster.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record(
+                "client.request",
+                kind,
+                t_start,
+                sim.now,
+                client=client.index,
+                regions=regions.count,
+                servers=smap.n_servers,
+            )
+        if kind == "read" and client.move_bytes:
+            out = np.zeros(regions.total_bytes, dtype=np.uint8)
+            for sl, piece in zip(smap, results):
+                out[sl.gather_stream_indices()] = piece
+            return out
+        return None
+
+    # ------------------------------------------------------------------
+    # Nonblocking variants (PVFS 1.x exposed pvfs_iread/pvfs_iwrite).
+    # Each returns a Process: yield it (or combine with sim.all_of) to
+    # complete; its value is the read data.
+    # ------------------------------------------------------------------
+    def iread(self, offset: int, length: int):
+        """Nonblocking contiguous read; returns a waitable process."""
+        return self.client.sim.process(self.read(offset, length))
+
+    def iwrite(self, offset: int, data, length: Optional[int] = None):
+        """Nonblocking contiguous write; returns a waitable process."""
+        return self.client.sim.process(self.write(offset, data, length=length))
+
+    def iread_list(self, file_regions: RegionList):
+        """Nonblocking list read; returns a waitable process."""
+        return self.client.sim.process(self.read_list(file_regions))
+
+    def iwrite_list(self, file_regions: RegionList, data):
+        """Nonblocking list write; returns a waitable process."""
+        return self.client.sim.process(self.write_list(file_regions, data))
+
+    # ------------------------------------------------------------------
+    def fsync(self):
+        """Force every I/O server holding this file to flush its dirty
+        pages to media (simulation process).  PVFS 1.x exposed this as
+        ``pvfs_fsync``; the benchmarks never call it (matching the paper's
+        measurements, which end at the last acknowledged write)."""
+        self._check_open()
+        client = self.client
+        sim = client.sim
+        n_iods = client.n_iods
+        pcount = self.stripe.resolve_pcount(n_iods)
+        procs = []
+        for i in range(pcount):
+            server = (self.stripe.base + i) % n_iods
+            req = IORequest(
+                kind="fsync",
+                file_id=self.file_id,
+                regions=RegionList.empty(),
+                client_node=client.node,
+                response=Event(sim),
+            )
+            client.scope.add("server_messages")
+            procs.append(sim.process(client._send(req, server)))
+        client.scope.add("fsyncs")
+        yield sim.all_of(procs)
+
+    # ------------------------------------------------------------------
+    def close(self):
+        """Release the handle; reports final size to the manager."""
+        self._check_open()
+        self._open = False
+        yield from self.client._manager_op(
+            "close", file_id=self.file_id, size_hint=self.size
+        )
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "closed"
+        return f"<PVFSFile {self.path} fid={self.file_id} {state}>"
+
+
+class PVFSClient:
+    """One compute node's PVFS library instance."""
+
+    def __init__(self, cluster, index: int, node) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.node = node
+        self.sim = cluster.sim
+        self.costs = cluster.config.costs
+        self.n_iods = cluster.config.n_iods
+        self.list_io_max_regions = cluster.config.list_io_max_regions
+        self.move_bytes = cluster.move_bytes
+        self.scope = cluster.counters.scoped(f"client.{index}")
+
+    # ------------------------------------------------------------------
+    def open(self, path: str, create: bool = False, stripe=None):
+        """Open (optionally create) a file; returns a :class:`PVFSFile`.
+
+        ``stripe`` (a :class:`~repro.config.StripeParams`) sets the new
+        file's user-controlled striping on create — base I/O node, node
+        count, and stripe size, as in the paper's Figure 2.  Ignored when
+        the file already exists.
+        """
+        if stripe is not None:
+            stripe.resolve_pcount(self.n_iods)  # validate against cluster
+        meta = yield from self._manager_op(
+            "open", path=path, create=create, stripe=stripe
+        )
+        self.scope.add("opens")
+        return PVFSFile(self, meta)
+
+    def stat(self, path: str):
+        meta = yield from self._manager_op("stat", path=path)
+        return meta
+
+    def unlink(self, path: str):
+        yield from self._manager_op("unlink", path=path)
+
+    # ------------------------------------------------------------------
+    def _manager_op(self, op: str, **kw):
+        mgr = self.cluster.manager
+        req = ManagerRequest(op=op, client_node=self.node, response=Event(self.sim), **kw)
+        yield from self.cluster.net.transfer(self.node, mgr.node, req.wire_bytes)
+        mgr.inbox.put(req)
+        result = yield req.response
+        return result
+
+    def _send(self, req: IORequest, server: int):
+        """Deliver one request to one iod and await its response."""
+        iod = self.cluster.iods[server]
+        yield from self.cluster.net.transfer(self.node, iod.node, req.wire_bytes)
+        req.enqueued_at = self.sim.now
+        iod.inbox.put(req)
+        result = yield req.response
+        return result
+
+    def __repr__(self) -> str:
+        return f"<PVFSClient {self.index}>"

@@ -1,0 +1,151 @@
+"""The PVFS I/O daemon (iod): serves read/write requests for its stripes.
+
+The iod is modeled as the paper describes it behaving: a single service loop
+that takes one request at a time from its inbox, pays a *per-request* parse
+cost plus a *per-described-region* cost (decoding the trailing data of a
+list request), performs the disk work, and hands the response to an
+asynchronous sender so the next request can be parsed while data streams
+out of the TX link.
+
+This is where the multiple-I/O pathology lives: every contiguous request
+pays ``iod_request_cost`` and (for writes) ``iod_write_commit_cost``, so a
+noncontiguous access issued as N tiny requests costs N times the fixed
+overheads, while a list request amortizes them over up to 64 regions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import CostModel
+from ..errors import ProtocolError
+from ..network import Network, Node
+from ..simulate import Counters, Simulator, Store
+from ..storage import ByteStore, Disk
+from .protocol import IORequest
+
+__all__ = ["IOD"]
+
+
+class IOD:
+    """One I/O daemon bound to a node, a disk model, and a byte store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        node: Node,
+        index: int,
+        disk: Disk,
+        store: ByteStore,
+        costs: CostModel,
+        counters: Optional[Counters] = None,
+        move_bytes: bool = True,
+        tracer=None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.node = node
+        self.index = index
+        self.disk = disk
+        self.store = store
+        self.costs = costs
+        self.counters = counters if counters is not None else Counters()
+        self.move_bytes = move_bytes
+        self.tracer = tracer
+        self._rng = np.random.default_rng(seed * 1009 + index) if costs.jitter else None
+        self.inbox: Store = Store(sim, name=f"iod{index}.inbox")
+        self.requests_served = 0
+        self.regions_served = 0
+        self.busy_time = 0.0
+        #: Service-time multiplier for fault/straggler injection: 1.0 is a
+        #: healthy daemon; 4.0 models a degraded node (failing disk,
+        #: swapping, cpu contention).  May be changed between workloads.
+        self.service_scale = 1.0
+        sim.process(self._run(), name=f"iod{index}")
+
+    def _scale(self) -> float:
+        """Per-request service multiplier: straggler scale x jitter draw."""
+        s = self.service_scale
+        if self._rng is not None:
+            s *= 1.0 + self.costs.jitter * (2.0 * self._rng.random() - 1.0)
+        return s
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        sim = self.sim
+        costs = self.costs
+        scope = self.counters.scoped(f"iod.{self.index}")
+        while True:
+            req: IORequest = yield self.inbox.get()
+            started = sim.now
+            n = req.n_described
+            scale = self._scale()
+            # Request parsing + trailing-data decode.
+            yield sim.timeout(
+                (costs.iod_request_cost + costs.iod_region_cost * n) * scale
+            )
+            if req.kind == "fsync":
+                # Flush this disk's dirty pages to media before acking.
+                flush_t = self.disk.flush_time() * scale
+                if flush_t > 0:
+                    yield sim.timeout(flush_t)
+                scope.add("fsyncs")
+                self.sim.process(
+                    self._respond(req, True), name=f"iod{self.index}.respond"
+                )
+            elif req.kind == "read":
+                disk_t = self.disk.read_time(req.file_id, req.regions) * scale
+                if disk_t > 0:
+                    yield sim.timeout(disk_t)
+                data = self.store.read(req.file_id, req.regions) if self.move_bytes else None
+                scope.add("read_requests")
+                scope.add("read_bytes", req.regions.total_bytes)
+                self.sim.process(
+                    self._respond(req, data), name=f"iod{self.index}.respond"
+                )
+            else:  # write
+                disk_t = self.disk.write_time(req.file_id, req.regions)
+                disk_t += costs.iod_write_commit_cost
+                if self.disk.cache.cfg.write_through:
+                    # Synchronous small overwrites pay a read-modify-write of
+                    # the enclosing page (see CostModel.small_write_penalty).
+                    runs = req.regions.coalesced()
+                    n_small = int((runs.lengths < costs.small_write_threshold).sum())
+                    disk_t += n_small * costs.small_write_penalty
+                yield sim.timeout(disk_t * scale)
+                if self.move_bytes and req.data is not None:
+                    self.store.write(req.file_id, req.regions, req.data)
+                scope.add("write_requests")
+                scope.add("write_bytes", req.regions.total_bytes)
+                self.sim.process(
+                    self._respond(req, True), name=f"iod{self.index}.respond"
+                )
+            self.requests_served += 1
+            self.regions_served += n
+            self.busy_time += sim.now - started
+            scope.add("regions", n)
+            if self.tracer is not None and self.tracer.enabled:
+                if req.enqueued_at is not None:
+                    self.tracer.record(
+                        "iod.queue_wait", f"iod{self.index}", req.enqueued_at, started
+                    )
+                self.tracer.record(
+                    "iod.service",
+                    req.kind,
+                    started,
+                    sim.now,
+                    iod=self.index,
+                    regions=n,
+                    nbytes=req.regions.total_bytes,
+                )
+
+    def _respond(self, req: IORequest, payload):
+        yield from self.net.transfer(self.node, req.client_node, req.response_bytes)
+        req.response.succeed(payload)
+
+    def __repr__(self) -> str:
+        return f"<IOD {self.index} served={self.requests_served}>"

@@ -1,0 +1,107 @@
+"""The PVFS manager daemon: metadata operations only.
+
+Clients contact the manager to open, create, stat, and close files; the
+manager replies with file metadata (handle, striping parameters, size, and
+implicitly the I/O daemon locations).  It never participates in data
+transfer (paper Section 2), so its only performance role in the benchmarks
+is the open/close cost visible in the tiled-visualization figure (Fig. 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import CostModel, StripeParams
+from ..errors import PVFSError
+from ..network import Network, Node
+from ..simulate import Counters, Simulator, Store
+from .metadata import FileMetadata, Namespace
+from .protocol import ManagerRequest
+
+__all__ = ["Manager"]
+
+
+@dataclass(frozen=True)
+class _MetaReply:
+    """Immutable snapshot sent back to clients on open/stat."""
+
+    file_id: int
+    path: str
+    stripe: StripeParams
+    size: int
+
+
+class Manager:
+    """Single-threaded metadata daemon with a FIFO inbox."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        node: Node,
+        namespace: Namespace,
+        costs: CostModel,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.node = node
+        self.namespace = namespace
+        self.costs = costs
+        self.counters = counters if counters is not None else Counters()
+        self.inbox: Store = Store(sim, name="manager.inbox")
+        self.ops_served = 0
+        sim.process(self._run(), name="manager")
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            req: ManagerRequest = yield self.inbox.get()
+            yield self.sim.timeout(self.costs.manager_op_cost)
+            self.ops_served += 1
+            self.counters.add(f"manager.op.{req.op}")
+            try:
+                result = self._execute(req)
+            except PVFSError as exc:
+                self.sim.process(self._respond(req, exc, failed=True))
+                continue
+            self.sim.process(self._respond(req, result, failed=False))
+
+    def _execute(self, req: ManagerRequest):
+        ns = self.namespace
+        if req.op in ("open", "create"):
+            if req.create or req.op == "create":
+                meta = ns.create(req.path, stripe=req.stripe)
+            else:
+                meta = ns.lookup(req.path)
+            meta.open_count += 1
+            return self._snapshot(meta)
+        if req.op == "stat":
+            return self._snapshot(ns.lookup(req.path))
+        if req.op == "close":
+            meta = ns.by_id(req.file_id)
+            meta.open_count = max(meta.open_count - 1, 0)
+            if req.size_hint:
+                meta.grow_to(req.size_hint)
+            return True
+        if req.op == "set_size":
+            ns.by_id(req.file_id).grow_to(req.size_hint)
+            return True
+        if req.op == "unlink":
+            ns.unlink(req.path)
+            return True
+        raise PVFSError(f"unhandled op {req.op}")  # pragma: no cover
+
+    @staticmethod
+    def _snapshot(meta: FileMetadata) -> _MetaReply:
+        return _MetaReply(
+            file_id=meta.file_id, path=meta.path, stripe=meta.stripe, size=meta.size
+        )
+
+    def _respond(self, req: ManagerRequest, result, failed: bool):
+        yield from self.net.transfer(self.node, req.client_node, req.response_bytes)
+        if failed:
+            req.response.fail(result)
+        else:
+            req.response.succeed(result)

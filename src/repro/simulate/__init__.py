@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel (built from scratch for pvfs-sim).
+
+Public surface::
+
+    from repro.simulate import Simulator, Resource, Store, Barrier
+
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="cpu")
+
+    def job(sim):
+        with cpu.request() as req:
+            yield req
+            yield sim.timeout(1.5)
+        return sim.now
+
+    done = sim.process(job(sim))
+    sim.run()
+"""
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .kernel import Interrupt, Process, Simulator
+from .resources import Barrier, Mutex, Request, Resource, Store, hold
+from .stats import Counters, ScopedCounters, Timeline
+from .trace import Span, Tracer
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Request",
+    "Mutex",
+    "Store",
+    "Barrier",
+    "hold",
+    "Counters",
+    "ScopedCounters",
+    "Timeline",
+    "Span",
+    "Tracer",
+]

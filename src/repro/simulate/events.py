@@ -1,0 +1,169 @@
+"""Event primitives for the discrete-event kernel.
+
+The kernel follows the classic generator-process model (as popularized by
+SimPy, reimplemented here from scratch because this reproduction builds all
+of its substrates): an :class:`Event` is a one-shot occurrence that carries a
+value or an exception; processes are generators that ``yield`` events and are
+resumed when those events fire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
+
+_UNSET = object()
+
+
+class Event:
+    """A one-shot occurrence on a simulator's timeline.
+
+    Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called, queued
+    on the heap) -> *processed* (callbacks ran).  Each transition is
+    one-way; retriggering raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _UNSET
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _UNSET:
+            raise SimulationError("event value read before the event triggered")
+        return self._value
+
+    # -- transitions ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger successfully with ``value`` after ``delay`` sim-seconds."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger as failed; waiting processes get ``exc`` thrown into them."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc, delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise SimulationError("cannot trigger an event in the past")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.sim._enqueue(delay, self)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not escalate the
+        exception when nothing is waiting on it."""
+        self._defused = True
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` sim-seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_fired = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot combine events from different simulators")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_fire(ev)
+            else:
+                ev.callbacks.append(self._on_fire)
+
+    def _collect(self) -> list:
+        return [ev.value for ev in self.events if ev.processed and ev.ok]
+
+    def _on_fire(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._n_fired += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired (fails fast on any failure)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired >= 1

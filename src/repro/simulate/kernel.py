@@ -1,0 +1,233 @@
+"""The discrete-event simulator: clock, heap, and generator processes.
+
+A :class:`Simulator` owns a priority queue of triggered events keyed by
+``(time, sequence)`` — the sequence number makes execution order fully
+deterministic for simultaneous events (FIFO in trigger order), which the
+test suite relies on.
+
+Processes are plain Python generators.  A process may ``yield``:
+
+* an :class:`~repro.simulate.events.Event` (including another process) — it
+  resumes with the event's value when the event fires, or has the event's
+  exception thrown into it if the event failed;
+* ``None`` — it resumes immediately within the same timestep (a cooperative
+  yield point).
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim, wait):
+        yield sim.timeout(wait)
+        return wait * 2
+
+    def main(sim):
+        results = yield AllOf(sim, [sim.process(worker(sim, w)) for w in (1, 2)])
+        print(sim.now, results)
+
+    sim.process(main(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+
+__all__ = ["Simulator", "Process"]
+
+
+class Process(Event):
+    """A running generator, usable as an event that fires on completion.
+
+    The process's return value (via ``return x`` in the generator) becomes
+    the event value.  An uncaught exception inside the generator fails the
+    event; if nothing is waiting on the process, the exception escalates out
+    of :meth:`Simulator.run`.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim, gen: Generator, name: Optional[str] = None) -> None:
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"process body must be a generator, got {type(gen).__name__}")
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", None) or "process"
+        # Kick off at the current simulation time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        kick = Event(self.sim)
+        kick.callbacks.append(lambda ev: self._step(Interrupt(cause), throw=True))
+        kick.succeed()
+
+    # -- execution ------------------------------------------------------
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, throw=False)
+        else:
+            ev.defuse()
+            self._step(ev.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        sim = self.sim
+        prev = sim._active_process
+        sim._active_process = self
+        try:
+            while True:
+                if throw:
+                    target = self._gen.throw(value)
+                else:
+                    target = self._gen.send(value)
+                throw = False
+                if target is None:
+                    value = None
+                    continue  # cooperative yield: resume immediately
+                if not isinstance(target, Event):
+                    value = SimulationError(
+                        f"process {self.name!r} yielded {target!r}, which is not an Event"
+                    )
+                    throw = True
+                    continue
+                if target.processed:
+                    if target.ok:
+                        value = target.value
+                    else:
+                        target.defuse()
+                        value = target.value
+                        throw = True
+                    continue
+                self._waiting_on = target
+                target.callbacks.append(self._resume)
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:
+            if isinstance(exc, GeneratorExit):
+                raise
+            self.fail(exc)
+        finally:
+            sim._active_process = prev
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Simulator:
+    """Event heap + virtual clock.
+
+    The public surface:
+
+    * :attr:`now` — current simulation time (seconds).
+    * :meth:`event`, :meth:`timeout`, :meth:`process` — create primitives.
+    * :meth:`all_of`, :meth:`any_of` — composite waits.
+    * :meth:`run` — execute until the heap drains or ``until`` is reached.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._running = False
+
+    # -- primitives -----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling -----------------------------------------------------
+    def _enqueue(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        t, _seq, event = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event heap time went backwards")
+        self.now = t
+        event._run_callbacks()
+        if not event.ok and not event._defused:
+            exc = event.value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap is empty, or the clock reaches ``until``.
+
+        Returns the final simulation time.  Unhandled process failures
+        propagate out of this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is not None and until < self.now:
+                raise SimulationError(f"until={until} is in the past (now={self.now})")
+            while self._heap:
+                if until is not None and self.peek() > until:
+                    self.now = until
+                    break
+                self.step()
+            else:
+                if until is not None:
+                    self.now = until
+            return self.now
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"

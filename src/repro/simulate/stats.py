@@ -1,0 +1,124 @@
+"""Lightweight instrumentation for simulation runs.
+
+:class:`Counters` is a nested string->number accumulator every daemon and
+client writes into; :class:`Timeline` records (time, value) samples for
+post-run inspection.  Both are pure bookkeeping — they never affect
+simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Counters", "Timeline"]
+
+
+class Counters:
+    """A defaultdict-of-floats with namespacing and merge support.
+
+    Keys are dotted strings, e.g. ``"iod.3.requests"`` or
+    ``"net.bytes_tx"``.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._data[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        self._data[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self._data.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._data.get(key, 0.0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def items(self) -> List[Tuple[str, float]]:
+        return sorted(self._data.items())
+
+    def merge(self, other: "Counters") -> "Counters":
+        for k, v in other._data.items():
+            self._data[k] += v
+        return self
+
+    def scoped(self, prefix: str) -> "ScopedCounters":
+        """A view that prefixes every key with ``prefix + '.'``."""
+        return ScopedCounters(self, prefix)
+
+    def total(self, prefix: str) -> float:
+        """Sum of every counter whose key starts with ``prefix``."""
+        p = prefix if prefix.endswith(".") else prefix + "."
+        return sum(v for k, v in self._data.items() if k.startswith(p) or k == prefix)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._data)
+
+    def __repr__(self) -> str:
+        return f"Counters({dict(sorted(self._data.items()))!r})"
+
+
+class ScopedCounters:
+    """Prefix view over a :class:`Counters` (shares storage)."""
+
+    __slots__ = ("_base", "_prefix")
+
+    def __init__(self, base: Counters, prefix: str) -> None:
+        self._base = base
+        self._prefix = prefix.rstrip(".")
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._base.add(f"{self._prefix}.{key}", amount)
+
+    def set(self, key: str, value: float) -> None:
+        self._base.set(f"{self._prefix}.{key}", value)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self._base.get(f"{self._prefix}.{key}", default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._base[f"{self._prefix}.{key}"]
+
+
+class Timeline:
+    """Ordered (time, value) samples, e.g. queue depth over time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("timeline samples must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise IndexError("empty timeline")
+        return self.times[-1], self.values[-1]
+
+    def max_value(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def time_weighted_mean(self) -> float:
+        """Mean of the piecewise-constant signal defined by the samples."""
+        if len(self.times) < 2:
+            return self.values[0] if self.values else 0.0
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        return total / span if span > 0 else self.values[-1]

@@ -1,0 +1,150 @@
+"""Server-side buffer cache model (the Linux page cache on an I/O node).
+
+The cache tracks *presence* of fixed-size blocks, not their contents — data
+lives in the :class:`~repro.storage.bytestore.ByteStore`.  It answers the
+only questions the disk model needs:
+
+* which blocks of an access are resident (hit/miss split),
+* how many dirty blocks an insertion evicted (write-back cost).
+
+Replacement is strict LRU via an ordered dict.  The paper's I/O nodes had
+512 MB of RAM; the default cache is 256 MB of 4 KiB blocks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from ..config import CacheConfig
+from ..errors import StorageError
+
+__all__ = ["BlockCache", "CacheStats"]
+
+
+class CacheStats:
+    """Running hit/miss/eviction totals."""
+
+    __slots__ = ("hits", "misses", "insertions", "evictions", "dirty_evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} (dirty {self.dirty_evictions})>"
+        )
+
+
+class BlockCache:
+    """LRU block-presence cache."""
+
+    def __init__(self, cfg: CacheConfig) -> None:
+        self.cfg = cfg
+        self.capacity_blocks = cfg.n_blocks
+        #: (file_id, block_no) -> dirty flag; order == recency (oldest first).
+        self._lru: "OrderedDict[Tuple[Hashable, int], bool]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def dirty_blocks(self) -> int:
+        return sum(1 for d in self._lru.values() if d)
+
+    # ------------------------------------------------------------------
+    def block_span(self, offset: int, length: int) -> np.ndarray:
+        """Block numbers covering ``[offset, offset + length)``."""
+        if length <= 0:
+            return np.empty(0, dtype=np.int64)
+        bs = self.cfg.block_size
+        return np.arange(offset // bs, (offset + length - 1) // bs + 1, dtype=np.int64)
+
+    def lookup(self, file_id: Hashable, blocks: np.ndarray) -> np.ndarray:
+        """Hit mask for the given block numbers.  Hits are touched (LRU
+        refresh); misses are NOT inserted — call :meth:`insert` once the
+        fetch is decided so readahead can widen the window first."""
+        hits = np.zeros(len(blocks), dtype=bool)
+        lru = self._lru
+        for i, b in enumerate(blocks.tolist()):
+            key = (file_id, b)
+            if key in lru:
+                lru.move_to_end(key)
+                hits[i] = True
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        return hits
+
+    def contains(self, file_id: Hashable, block: int) -> bool:
+        """Non-mutating membership probe (no LRU touch, no stats)."""
+        return (file_id, block) in self._lru
+
+    def insert(self, file_id: Hashable, blocks: np.ndarray, dirty: bool = False) -> int:
+        """Make the blocks resident (marking them dirty for writes).
+
+        Returns the number of *dirty* blocks evicted to make room — the
+        write-back volume the disk model must charge.  Inserting an already
+        resident block refreshes it (and can upgrade clean -> dirty).
+        """
+        if self.capacity_blocks <= 0:
+            # A zero-size cache: everything is an immediate dirty writeback.
+            return int(len(blocks)) if dirty else 0
+        lru = self._lru
+        dirty_evicted = 0
+        for b in blocks.tolist():
+            key = (file_id, b)
+            if key in lru:
+                was_dirty = lru.pop(key)
+                lru[key] = was_dirty or dirty
+                continue
+            lru[key] = dirty
+            self.stats.insertions += 1
+            if len(lru) > self.capacity_blocks:
+                _old_key, old_dirty = lru.popitem(last=False)
+                self.stats.evictions += 1
+                if old_dirty:
+                    self.stats.dirty_evictions += 1
+                    dirty_evicted += 1
+        return dirty_evicted
+
+    def clean(self, file_id: Hashable, blocks: np.ndarray) -> None:
+        """Mark blocks clean (they were flushed)."""
+        for b in blocks.tolist():
+            key = (file_id, b)
+            if key in self._lru:
+                self._lru[key] = False
+
+    def flush_all(self) -> int:
+        """Mark everything clean; returns how many blocks were dirty."""
+        n = 0
+        for key, d in self._lru.items():
+            if d:
+                n += 1
+                self._lru[key] = False
+        return n
+
+    def drop(self, file_id: Hashable) -> None:
+        """Invalidate all blocks of one file (close/delete)."""
+        doomed = [k for k in self._lru if k[0] == file_id]
+        for k in doomed:
+            del self._lru[k]
+
+    def __repr__(self) -> str:
+        return f"<BlockCache {len(self)}/{self.capacity_blocks} blocks>"

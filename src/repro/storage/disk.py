@@ -1,0 +1,136 @@
+"""Disk service-time model for one I/O node.
+
+A :class:`Disk` combines the mechanical model (:class:`~repro.config.DiskConfig`)
+with a :class:`~repro.storage.cache.BlockCache` and answers "how many seconds
+does this batch of byte runs cost".  It is deliberately a *time* model — the
+actual bytes live in the byte store — so the expensive part of a simulation
+step is O(number of runs + number of blocks touched), never O(bytes).
+
+Model summary:
+
+* **Reads** always pay a memory-copy for the requested bytes.  Missed block
+  segments are fetched from media: one positioning delay per discontiguous
+  fetch (skipped when the fetch continues where the head left off — a
+  sequential scan seeks once) plus media transfer for a readahead-widened
+  window, which then becomes resident.
+* **Writes** land in the cache (write-back): memory-copy plus media transfer
+  for any dirty blocks evicted to make room.  With ``write_through=True``
+  every run pays positioning + media transfer immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..config import CacheConfig, DiskConfig
+from ..errors import StorageError
+from ..regions import RegionList
+from .cache import BlockCache
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """Stateful per-server disk: head position + buffer cache."""
+
+    def __init__(self, cfg: DiskConfig, cache_cfg: CacheConfig) -> None:
+        self.cfg = cfg
+        self.cache = BlockCache(cache_cfg)
+        #: (file_id, byte offset) the head would be at after the last media
+        #: access; None before any access.
+        self._head: Optional[Tuple[Hashable, int]] = None
+        # -- instrumentation --------------------------------------------
+        self.media_reads = 0
+        self.media_read_bytes = 0
+        self.media_writes = 0
+        self.media_write_bytes = 0
+        self.positionings = 0
+
+    # ------------------------------------------------------------------
+    def _position(self, file_id: Hashable, offset: int) -> float:
+        """Positioning cost to start a media access at ``offset``; free when
+        the access continues sequentially from the previous one."""
+        if self._head == (file_id, offset):
+            return 0.0
+        self.positionings += 1
+        return self.cfg.positioning_time
+
+    def _media(self, nbytes: int) -> float:
+        return nbytes / self.cfg.transfer_rate
+
+    def _memcpy(self, nbytes: int) -> float:
+        return nbytes / self.cache.cfg.memory_copy_rate
+
+    # ------------------------------------------------------------------
+    def read_time(self, file_id: Hashable, regions: RegionList) -> float:
+        """Service time for reading the given regions of one stripe file."""
+        runs = regions.coalesced()
+        if runs.total_bytes == 0:
+            return 0.0
+        bs = self.cache.cfg.block_size
+        ra_blocks = max(self.cache.cfg.readahead // bs, 1)
+        t = self._memcpy(runs.total_bytes)  # cache -> iod buffer copy
+        for off, ln in runs:
+            blocks = self.cache.block_span(off, ln)
+            hits = self.cache.lookup(file_id, blocks)
+            if hits.all():
+                continue
+            missed = blocks[~hits]
+            # Group consecutive missed blocks into fetch segments.
+            cuts = np.flatnonzero(np.diff(missed) > 1) + 1
+            for seg in np.split(missed, cuts):
+                seg_start_block = int(seg[0])
+                n_fetch = max(len(seg), ra_blocks)  # readahead widening
+                fetch_start = seg_start_block * bs
+                fetch_bytes = n_fetch * bs
+                t += self._position(file_id, fetch_start)
+                t += self._media(fetch_bytes)
+                self.media_reads += 1
+                self.media_read_bytes += fetch_bytes
+                fetched = np.arange(seg_start_block, seg_start_block + n_fetch, dtype=np.int64)
+                dirty_evicted = self.cache.insert(file_id, fetched)
+                t += self._media(dirty_evicted * bs)
+                self._head = (file_id, fetch_start + fetch_bytes)
+        return t
+
+    def write_time(self, file_id: Hashable, regions: RegionList) -> float:
+        """Service time for writing the given regions of one stripe file."""
+        runs = regions.coalesced()
+        if runs.total_bytes == 0:
+            return 0.0
+        bs = self.cache.cfg.block_size
+        t = self._memcpy(runs.total_bytes)  # iod buffer -> cache copy
+        for off, ln in runs:
+            blocks = self.cache.block_span(off, ln)
+            dirty_evicted = self.cache.insert(file_id, blocks, dirty=True)
+            if dirty_evicted:
+                # Write-back of evicted dirty pages: one positioning for the
+                # batch plus media transfer.
+                t += self.cfg.positioning_time + self._media(dirty_evicted * bs)
+                self.media_writes += 1
+                self.media_write_bytes += dirty_evicted * bs
+                self.positionings += 1
+            if self.cache.cfg.write_through:
+                t += self._position(file_id, off) + self._media(ln)
+                self.media_writes += 1
+                self.media_write_bytes += ln
+                self._head = (file_id, off + ln)
+                self.cache.clean(file_id, blocks)
+        return t
+
+    def flush_time(self) -> float:
+        """Cost of syncing all dirty blocks to media (used at close)."""
+        dirty = self.cache.flush_all()
+        if dirty == 0:
+            return 0.0
+        bs = self.cache.cfg.block_size
+        self.media_writes += 1
+        self.media_write_bytes += dirty * bs
+        self.positionings += 1
+        self._head = None
+        return self.cfg.positioning_time + self._media(dirty * bs)
+
+    def __repr__(self) -> str:
+        return f"<Disk media_r={self.media_read_bytes} media_w={self.media_write_bytes}>"

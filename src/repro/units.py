@@ -1,0 +1,69 @@
+"""Unit helpers and constants.
+
+All simulated times are in **seconds** (float), all sizes in **bytes** (int).
+These helpers exist so that configuration code reads like the paper
+("32 MB sieve buffer", "16,384-byte stripes", "100 Mbit/s Ethernet") instead
+of a soup of magic numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "usec",
+    "msec",
+    "Mbit_per_s",
+    "fmt_bytes",
+    "fmt_time",
+]
+
+#: Binary byte units.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Decimal byte units (disk vendors, network payload math).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+
+def usec(x: float) -> float:
+    """Microseconds -> seconds."""
+    return x * 1e-6
+
+
+def msec(x: float) -> float:
+    """Milliseconds -> seconds."""
+    return x * 1e-3
+
+
+def Mbit_per_s(x: float) -> float:
+    """Megabits per second -> bytes per second."""
+    return x * 1e6 / 8.0
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    n = int(n)
+    if abs(n) >= GiB:
+        return f"{n / GiB:.2f} GiB"
+    if abs(n) >= MiB:
+        return f"{n / MiB:.2f} MiB"
+    if abs(n) >= KiB:
+        return f"{n / KiB:.2f} KiB"
+    return f"{n} B"
+
+
+def fmt_time(t: float) -> str:
+    """Human-readable duration in seconds."""
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t * 1e6:.1f} us"

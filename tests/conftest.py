@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis: disable deadlines globally (simulation-backed properties have
+legitimately variable wall time) and fix a generous example budget so the
+suite stays deterministic across machines.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

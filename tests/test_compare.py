@@ -1,0 +1,77 @@
+"""Tests for the result-comparison tool (repro.experiments.compare)."""
+
+import pytest
+
+from repro.experiments import SMOKE, figure9, points_to_csv
+from repro.experiments.compare import (
+    CompareError,
+    compare_csv,
+    format_comparison,
+    main,
+)
+
+
+@pytest.fixture(scope="module")
+def csv_pair(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cmp")
+    res = figure9(scale=SMOKE, mode="model")
+    before = d / "before.csv"
+    before.write_text(points_to_csv(res.points))
+    # "after": same points with elapsed doubled for one series
+    doubled = []
+    for p in res.points:
+        q = type(p)(**{**p.__dict__})
+        if q.series == "multiple":
+            q.elapsed *= 2
+        doubled.append(q)
+    after = d / "after.csv"
+    after.write_text(points_to_csv(doubled))
+    return str(before), str(after)
+
+
+class TestCompare:
+    def test_identical_files(self, csv_pair):
+        before, _ = csv_pair
+        cmp = compare_csv(before, before)
+        assert cmp.min_ratio == cmp.max_ratio == 1.0
+        assert not cmp.only_before and not cmp.only_after
+
+    def test_detects_doubling(self, csv_pair):
+        cmp = compare_csv(*csv_pair)
+        assert cmp.max_ratio == pytest.approx(2.0)
+        assert cmp.min_ratio == pytest.approx(1.0)
+        worst = cmp.worst(1)[0]
+        assert worst.key[1] == "multiple"
+        assert worst.ratio == pytest.approx(2.0)
+
+    def test_per_figure_stats(self, csv_pair):
+        cmp = compare_csv(*csv_pair)
+        stats = cmp.per_figure()["fig09"]
+        assert stats["max"] == pytest.approx(2.0)
+        assert stats["min"] == pytest.approx(1.0)
+
+    def test_unmatched_points_reported(self, csv_pair, tmp_path):
+        before, after = csv_pair
+        # truncate the after file to fewer rows
+        lines = open(after).read().splitlines()
+        short = tmp_path / "short.csv"
+        short.write_text("\n".join(lines[:-2]) + "\n")
+        cmp = compare_csv(before, str(short))
+        assert len(cmp.only_before) == 2
+
+    def test_malformed_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(CompareError):
+            compare_csv(str(bad), str(bad))
+
+    def test_format_and_main(self, csv_pair, capsys):
+        out = format_comparison(compare_csv(*csv_pair))
+        assert "ratio range" in out
+        assert "largest changes" in out
+        rc = main(list(csv_pair))
+        assert rc == 0
+        assert "fig09" in capsys.readouterr().out
+
+    def test_main_usage(self, capsys):
+        assert main([]) == 2

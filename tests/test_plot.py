@@ -1,0 +1,102 @@
+"""Tests for the ASCII chart renderer (repro.experiments.plot)."""
+
+import pytest
+
+from repro.experiments import SMOKE, figure9, figure17
+from repro.experiments.plot import ascii_bars, ascii_chart, render_figure
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_markers_and_legend(self):
+        out = ascii_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 4)]}, title="demo"
+        )
+        assert "demo" in out
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_log_scale_label(self):
+        out = ascii_chart({"a": [(0, 1), (1, 1000)]}, log_y=True)
+        assert "(log scale)" in out
+        assert "1e" in out
+
+    def test_x_range_footer(self):
+        out = ascii_chart({"a": [(10, 1), (90, 2)]})
+        assert "x: 10 .. 90" in out
+
+    def test_single_point_series(self):
+        out = ascii_chart({"a": [(5, 7)]})
+        assert "o" in out
+
+    def test_monotone_series_rises_leftward_up(self):
+        """The marker for the max y must appear on a higher row than the
+        marker for the min y."""
+        out = ascii_chart({"a": [(0, 0), (10, 10)]}, width=20, height=10)
+        rows = [l for l in out.splitlines() if "|" in l]
+        top_half = "".join(rows[: len(rows) // 2])
+        bottom_half = "".join(rows[len(rows) // 2 :])
+        assert "o" in top_half and "o" in bottom_half
+
+    def test_overlap_marker(self):
+        out = ascii_chart({"a": [(0, 1)], "b": [(0, 1)]}, width=10, height=5)
+        assert "&" in out
+
+
+class TestAsciiBars:
+    def test_empty(self):
+        assert "(no data)" in ascii_bars({})
+
+    def test_values_rendered(self):
+        out = ascii_bars({"multiple": 100.0, "list": 1.0}, title="bars")
+        assert "bars" in out
+        assert "multiple" in out and "list" in out
+        assert out.count("#") > 2
+
+    def test_log_bars_compress_range(self):
+        def bar_of(s, name):
+            line = [l for l in s.splitlines() if l.strip().startswith(name)][0]
+            return line.count("#")
+
+        lin = ascii_bars({"a": 10000.0, "b": 100.0}, width=50)
+        log = ascii_bars({"a": 10000.0, "b": 100.0}, width=50, log=True)
+        assert bar_of(log, "b") > bar_of(lin, "b")
+        assert "(log scale)" in log
+
+    def test_longest_bar_is_max(self):
+        out = ascii_bars({"small": 1.0, "big": 50.0}, width=40)
+        lines = {l.split("|")[0].strip(): l for l in out.splitlines() if "|" in l}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+
+class TestRenderFigure:
+    def test_sweep_figure_renders_charts(self):
+        res = figure9(scale=SMOKE, mode="model")
+        out = render_figure(res)
+        assert "fig09" in out
+        assert "x:" in out  # chart footer present
+        assert "multiple" in out
+
+    def test_single_x_figure_renders_bars(self):
+        res = figure17(scale=SMOKE, mode="des")
+        out = render_figure(res, log_y=False)
+        assert "#" in out
+        assert "list" in out
+
+    def test_write_figures_default_to_log(self):
+        from repro.experiments import figure10
+
+        res = figure10(scale=SMOKE, mode="model")
+        assert "(log scale)" in render_figure(res)
+
+
+class TestCLIPlot:
+    def test_plot_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        rc = main(["--figure", "17", "--scale", "smoke", "--mode", "des", "--plot"])
+        out = capsys.readouterr().out
+        assert "#" in out  # bars rendered
+        assert rc in (0, 1)

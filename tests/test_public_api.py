@@ -1,0 +1,42 @@
+"""The top-level public API surface must stay importable and complete."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_types_present(self):
+        assert repro.Cluster is not None
+        assert repro.ClusterConfig is not None
+        assert repro.RegionList is not None
+        for m in ("MultipleIO", "DataSievingIO", "ListIO", "HybridIO", "VectorIO"):
+            assert getattr(repro, m).name
+
+    def test_readme_quickstart_runs(self):
+        """The README's quickstart snippet, verbatim in spirit."""
+        import numpy as np
+
+        cluster = repro.Cluster.build(repro.ClusterConfig.chiba_city(n_clients=1))
+        payload = np.arange(4096, dtype=np.uint8)
+
+        def workload(client):
+            f = yield from client.open("/demo", create=True)
+            yield from repro.pvfs_write_list(
+                f,
+                payload,
+                mem_offsets=[0],
+                mem_lengths=[4096],
+                file_offsets=[0, 65536],
+                file_lengths=[2048, 2048],
+            )
+            yield from f.close()
+
+        result = cluster.run_workload(workload, clients=[0])
+        assert result.elapsed > 0
+        assert cluster.counters["client.0.logical_requests"] == 1

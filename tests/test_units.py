@@ -1,0 +1,39 @@
+"""Tests for repro.units."""
+
+from repro import units
+
+
+def test_binary_units_are_powers_of_two():
+    assert units.KiB == 2**10
+    assert units.MiB == 2**20
+    assert units.GiB == 2**30
+
+
+def test_decimal_units():
+    assert units.KB == 1000
+    assert units.MB == 10**6
+    assert units.GB == 10**9
+
+
+def test_time_helpers():
+    assert units.usec(1.0) == 1e-6
+    assert units.msec(2.0) == 2e-3
+    assert units.msec(1000.0) == 1.0
+
+
+def test_bandwidth_helper():
+    # 100 Mbit/s == 12.5 MB/s
+    assert units.Mbit_per_s(100.0) == 12.5e6
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2048) == "2.00 KiB"
+    assert units.fmt_bytes(3 * units.MiB) == "3.00 MiB"
+    assert units.fmt_bytes(units.GiB) == "1.00 GiB"
+
+
+def test_fmt_time():
+    assert units.fmt_time(2.5) == "2.500 s"
+    assert units.fmt_time(0.0025) == "2.500 ms"
+    assert units.fmt_time(25e-6) == "25.0 us"
