@@ -36,9 +36,11 @@ def _run_sweep(
     mode: str,
     clients: Optional[Sequence[int]],
     accesses: Optional[Sequence[int]],
+    obs=None,
 ) -> List[DataPoint]:
     points: List[DataPoint] = []
     run = model_point if mode == "model" else des_point
+    extra = {} if mode == "model" else {"obs": obs}
     for n_clients in clients:
         cfg = ClusterConfig.chiba_city(n_clients=n_clients)
         for acc in accesses:
@@ -52,6 +54,7 @@ def _run_sweep(
                         cfg,
                         figure=figure,
                         x=acc,
+                        **extra,
                     )
                 )
     return points
@@ -110,12 +113,13 @@ def figure9(
     mode: str = "model",
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
+    obs=None,
 ) -> FigureResult:
     """One-dimensional cyclic read results (paper Figure 9)."""
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig09", one_dim_cyclic, _READ_METHODS, "read", scale, mode, clients, accesses
+        "fig09", one_dim_cyclic, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs
     )
     checks: List[Check] = []
     for n in clients:
@@ -146,12 +150,13 @@ def figure10(
     mode: str = "model",
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
+    obs=None,
 ) -> FigureResult:
     """One-dimensional cyclic write results (paper Figure 10)."""
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig10", one_dim_cyclic, _WRITE_METHODS, "write", scale, mode, clients, accesses
+        "fig10", one_dim_cyclic, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs
     )
     checks: List[Check] = []
     for n in clients:
@@ -172,12 +177,13 @@ def figure11(
     mode: str = "model",
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
+    obs=None,
 ) -> FigureResult:
     """Block-block read results (paper Figure 11)."""
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig11", block_block, _READ_METHODS, "read", scale, mode, clients, accesses
+        "fig11", block_block, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs
     )
     checks: List[Check] = []
     for n in clients:
@@ -212,12 +218,13 @@ def figure12(
     mode: str = "model",
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
+    obs=None,
 ) -> FigureResult:
     """Block-block write results (paper Figure 12)."""
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig12", block_block, _WRITE_METHODS, "write", scale, mode, clients, accesses
+        "fig12", block_block, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs
     )
     checks: List[Check] = []
     for n in clients:

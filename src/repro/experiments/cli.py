@@ -5,10 +5,19 @@
     pvfs-sim --figure 9 --scale paper --mode model
     pvfs-sim --figure 15 --scale scaled --mode des --csv out.csv
     pvfs-sim --all --scale scaled
+    pvfs-sim --figure 9 --scale smoke --mode des --trace-out t.json --report
+    pvfs-sim obs t.json
 
 ``model`` mode evaluates the analytic bound model (fast, any scale);
 ``des`` mode runs the discrete-event simulator (exact event accounting,
 use ``scaled``/``smoke``).
+
+Observability (DES mode only): ``--trace-out FILE.json`` captures every
+simulated run and writes the longest one as a Perfetto-loadable trace
+(open it at ``ui.perfetto.dev``); ``--report`` prints the bottleneck
+attribution for that run plus a per-run verdict overview.  The ``obs``
+subcommand summarizes a previously saved trace file.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -65,16 +74,34 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render ASCII charts of each figure after its table",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        help="write a Perfetto trace of the longest simulated run "
+        "(DES mode only; open at ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="print bottleneck attribution for the longest simulated run "
+        "(DES mode only)",
+    )
     return p
 
 
-def _run_one(fig: str, scale_name: str, mode: str) -> FigureResult:
+def _run_one(fig: str, scale_name: str, mode: str, obs=None) -> FigureResult:
     scale = SCALES[scale_name]
     driver = FIGURES[fig]
-    return driver(scale=scale, mode=mode)
+    return driver(scale=scale, mode=mode, obs=obs)
 
 
 def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "obs":
+        # `pvfs-sim obs TRACE.json` — summarize a saved trace.
+        from ..obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     args = _parser().parse_args(argv)
     scale = SCALES[args.scale]
     mode = args.mode or ("model" if not scale.des_friendly else "des")
@@ -85,11 +112,31 @@ def main(argv: List[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    obs = None
+    if args.trace_out or args.report:
+        if mode != "des":
+            print(
+                "error: --trace-out/--report need the discrete-event simulator; "
+                "add --mode des (and a des-friendly --scale)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.trace_out:
+            # Fail before the (potentially long) sweep, not after it.
+            try:
+                with open(args.trace_out, "w"):
+                    pass
+            except OSError as exc:
+                print(f"error: cannot write {args.trace_out}: {exc}", file=sys.stderr)
+                return 2
+        from ..obs import ObsSession
+
+        obs = ObsSession()
     figures = sorted(FIGURES, key=int) if args.all else [args.figure]
     all_points = []
     failed = False
     for fig in figures:
-        result = _run_one(fig, args.scale, mode)
+        result = _run_one(fig, args.scale, mode, obs=obs)
         print(result.markdown())
         if args.plot:
             from .plot import render_figure
@@ -101,6 +148,18 @@ def main(argv: List[str] | None = None) -> int:
         with open(args.csv, "w") as fh:
             fh.write(points_to_csv(all_points))
         print(f"wrote {len(all_points)} points to {args.csv}")
+    if obs is not None and obs.runs:
+        best = obs.best_run()
+        if args.report:
+            print(obs.report_markdown(best))
+            print("### per-run verdicts\n")
+            print(obs.runs_overview_markdown())
+        if args.trace_out:
+            obs.export_trace(args.trace_out, best)
+            print(
+                f"wrote Perfetto trace of {best.label!r} to {args.trace_out} "
+                "(open at ui.perfetto.dev)"
+            )
     return 1 if failed else 0
 
 

@@ -38,13 +38,19 @@ from .report import Check, FigureResult
 __all__ = ["figure18"]
 
 
-def _mpiio_point(scale: Scale, n_ranks: int, collective: bool, cb_nodes=None) -> DataPoint:
+def _mpiio_point(
+    scale: Scale, n_ranks: int, collective: bool, cb_nodes=None, obs=None
+) -> DataPoint:
     mesh = scale.flash
     chunk = mesh.chunk_bytes
     nbytes = mesh.n_blocks * mesh.n_vars * chunk
     cluster = Cluster.build(
-        ClusterConfig.chiba_city(n_clients=n_ranks), move_bytes=False
+        ClusterConfig.chiba_city(n_clients=n_ranks),
+        move_bytes=False,
+        trace=obs is not None,
     )
+    if obs is not None:
+        obs.attach(cluster)
     comm = Communicator(cluster.sim, n_ranks)
     shared = {}
 
@@ -62,6 +68,9 @@ def _mpiio_point(scale: Scale, n_ranks: int, collective: bool, cb_nodes=None) ->
         yield from mf.close()
 
     res = cluster.run_workload(wl)
+    if obs is not None:
+        series = "mpiio-coll" if collective else "mpiio-indep"
+        obs.capture(cluster, label=f"fig18/{series} write x={n_ranks}")
     return DataPoint(
         figure="fig18",
         series="mpiio-coll" if collective else "mpiio-indep",
@@ -81,6 +90,7 @@ def figure18(
     scale: Scale = SCALED,
     mode: str = "des",
     clients: Optional[Sequence[int]] = None,
+    obs=None,
 ) -> FigureResult:
     """Extension: MPI-IO over the paper's list I/O, FLASH-shaped writes.
 
@@ -98,10 +108,10 @@ def figure18(
         cfg = ClusterConfig.chiba_city(n_clients=n)
         for method in ("multiple", "list"):
             points.append(
-                des_point(pattern, method, "write", cfg, figure="fig18", x=n)
+                des_point(pattern, method, "write", cfg, figure="fig18", x=n, obs=obs)
             )
-        points.append(_mpiio_point(scale, n, collective=False))
-        points.append(_mpiio_point(scale, n, collective=True))
+        points.append(_mpiio_point(scale, n, collective=False, obs=obs))
+        points.append(_mpiio_point(scale, n, collective=True, obs=obs))
 
     checks: List[Check] = []
 

@@ -37,6 +37,7 @@ def figure15(
     clients: Optional[Sequence[int]] = None,
     methods: Sequence[str] = _METHODS,
     include_text_accounting: bool = False,
+    obs=None,
 ) -> FigureResult:
     """Regenerate Figure 15.
 
@@ -48,13 +49,14 @@ def figure15(
     """
     clients = tuple(clients or scale.flash_clients)
     run = model_point if mode == "model" else des_point
+    extra = {} if mode == "model" else {"obs": obs}
     points: List[DataPoint] = []
     for n in clients:
         pattern = flash_io(n, scale.flash)
         cfg = ClusterConfig.chiba_city(n_clients=n)
         for method in methods:
             points.append(
-                run(pattern, method, "write", cfg, figure="fig15", x=n)
+                run(pattern, method, "write", cfg, figure="fig15", x=n, **extra)
             )
         if include_text_accounting:
             if mode == "model":
@@ -76,6 +78,7 @@ def figure15(
                     figure="fig15",
                     x=n,
                     method_opts={"split_memory_regions": False},
+                    obs=obs,
                 )
             p.series = "list-text"
             points.append(p)

@@ -47,6 +47,9 @@ class DataPoint:
     #: and for the deterministic model).
     elapsed_std: float = 0.0
     repeats: int = 1
+    #: Per-category span statistics (``Tracer.summary()``) when the point
+    #: ran with ``trace=True``; None otherwise.
+    trace_summary: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def wasted_bytes(self) -> int:
@@ -79,6 +82,8 @@ def des_point(
     measure_phases: bool = False,
     path: str = "/bench",
     repeats: int = 1,
+    trace: bool = False,
+    obs=None,
 ) -> DataPoint:
     """Run one benchmark point through the discrete-event simulator.
 
@@ -89,6 +94,13 @@ def des_point(
     ``repeats > 1`` reruns the point with distinct seeds (meaningful when
     the cost model has ``jitter > 0``, mirroring the paper's averaging of
     three runs) and reports the mean with ``elapsed_std``.
+
+    ``trace=True`` enables span collection and stores the tracer summary
+    on the returned point (``trace_summary``).  ``obs`` (an
+    :class:`~repro.obs.ObsSession`) additionally wires resource monitors
+    onto the cluster and captures the run for Perfetto export / bottleneck
+    attribution.  Both are passive: the simulated times are bit-identical
+    with and without them.
     """
     cfg = cfg or ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
     if cfg.n_clients != pattern.n_ranks:
@@ -105,6 +117,8 @@ def des_point(
                 method_opts=method_opts,
                 measure_phases=measure_phases,
                 path=path,
+                trace=trace,
+                obs=obs,
             )
             for r in range(repeats)
         ]
@@ -115,7 +129,9 @@ def des_point(
         first.elapsed_std = var**0.5
         first.repeats = repeats
         return first
-    cluster = Cluster.build(cfg, move_bytes=False)
+    cluster = Cluster.build(cfg, move_bytes=False, trace=trace or obs is not None)
+    if obs is not None:
+        obs.attach(cluster)
     method = _make_method(method_name, method_opts)
     serialize = kind == "write" and isinstance(method, (DataSievingIO, HybridIO))
     comm = Communicator(cluster.sim, pattern.n_ranks) if serialize else None
@@ -143,6 +159,12 @@ def des_point(
         phase_times["close"].append(t3 - t2)
 
     result = cluster.run_workload(workload)
+    if obs is not None:
+        obs.capture(
+            cluster,
+            label=f"{figure or 'point'}/{method_name} {kind} "
+            f"x={x:g} clients={pattern.n_ranks}",
+        )
     counters = result.counters
     moved = int(
         counters.get("net.payload_bytes", 0.0)
@@ -163,6 +185,8 @@ def des_point(
     )
     if measure_phases:
         point.phases = {k: max(v) for k, v in phase_times.items() if v}
+    if trace:
+        point.trace_summary = cluster.tracer.summary()
     return point
 
 

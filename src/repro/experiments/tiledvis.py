@@ -30,6 +30,7 @@ def figure17(
     scale: Scale = SCALED,
     mode: str = "des",
     methods: Sequence[str] = _METHODS,
+    obs=None,
 ) -> FigureResult:
     pattern = tiled_visualization(scale.tiled)
     cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
@@ -45,6 +46,7 @@ def figure17(
                     figure="fig17",
                     x=pattern.n_ranks,
                     measure_phases=True,
+                    obs=obs,
                 )
             )
         else:

@@ -57,3 +57,19 @@ class EthernetModel:
         """Largest region count whose request still fits one frame."""
         room = self.mtu_payload - header_bytes
         return max(room // bytes_per_region, 0)
+
+    def describe(self, payload: int) -> dict:
+        """Frame-level breakdown of one message, for trace annotation.
+
+        Returns payload/wire byte counts, the frame count, and the
+        latency/serialization split in seconds — the numbers an observer
+        needs to tell "many tiny frames" from "few full frames" when
+        reading a captured trace.
+        """
+        return {
+            "payload_bytes": payload,
+            "wire_bytes": self.wire_bytes(payload),
+            "frames": self.frames_for(payload),
+            "latency_s": self.cfg.latency,
+            "serialization_s": self.transmit_time(payload),
+        }

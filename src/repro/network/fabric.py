@@ -56,11 +56,21 @@ class Node:
 class Network:
     """Registry of nodes + the message transfer primitive."""
 
-    def __init__(self, sim: Simulator, cfg: NetworkConfig, counters: Optional[Counters] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: NetworkConfig,
+        counters: Optional[Counters] = None,
+        tracer=None,
+    ) -> None:
         self.sim = sim
         self.cfg = cfg
         self.ethernet = EthernetModel(cfg)
         self.counters = counters if counters is not None else Counters()
+        #: Optional :class:`~repro.simulate.Tracer`; when enabled every
+        #: transfer records ``net.wait`` (time blocked on NIC links) and
+        #: ``net.xfer`` (time occupying the wire) spans.
+        self.tracer = tracer
         self._nodes: Dict[str, Node] = {}
 
     # ------------------------------------------------------------------
@@ -81,6 +91,10 @@ class Network:
     def n_nodes(self) -> int:
         return len(self._nodes)
 
+    def nodes(self):
+        """All registered nodes, in registration order."""
+        return list(self._nodes.values())
+
     # ------------------------------------------------------------------
     def transfer(self, src: Node, dst: Node, payload: int) -> Generator:
         """Simulation process moving ``payload`` bytes from ``src`` to
@@ -99,10 +113,15 @@ class Network:
             return payload
         wire = self.cfg.wire_bytes(payload)
         duration = self.cfg.latency + self.cfg.transmit_time(payload)
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        t_req = sim.now if tracing else 0.0
         with src.tx.request() as t:
             yield t
             with dst.rx.request() as r:
                 yield r
+                if tracing:
+                    t_hold = sim.now
                 yield sim.timeout(duration)
         src.bytes_sent += payload
         src.messages_sent += 1
@@ -110,6 +129,25 @@ class Network:
         self.counters.add("net.messages")
         self.counters.add("net.payload_bytes", payload)
         self.counters.add("net.wire_bytes", wire)
+        if tracing:
+            if t_hold > t_req:
+                tracer.record(
+                    "net.wait",
+                    f"{src.name}->{dst.name}",
+                    t_req,
+                    t_hold,
+                    src=src.name,
+                    dst=dst.name,
+                )
+            tracer.record(
+                "net.xfer",
+                f"{src.name}->{dst.name}",
+                t_hold,
+                sim.now,
+                src=src.name,
+                dst=dst.name,
+                **self.ethernet.describe(payload),
+            )
         return wire
 
     def __repr__(self) -> str:

@@ -1,0 +1,193 @@
+"""Resource monitors: busy/idle timelines and queue-depth sampling.
+
+A :class:`ResourceMonitor` is the passive observer the simulation
+primitives call through their optional ``monitor`` hooks
+(:class:`~repro.simulate.Resource`, :class:`~repro.simulate.Store`,
+:class:`~repro.storage.Disk`, :class:`~repro.pvfs.iod.IOD`,
+:class:`~repro.pvfs.client.PVFSClient`).  It records *when* a resource was
+busy — as explicit intervals, not just an accumulated total — so
+utilization can be computed over any sub-window of a run, and samples
+queue depth as a :class:`~repro.simulate.Timeline`.
+
+:class:`ClusterMonitor` wires one monitor onto every interesting resource
+of a built cluster: each NIC TX/RX link, each I/O daemon's service loop,
+each disk, each daemon inbox, and each client.  Monitors never advance
+simulated time; attaching them cannot change results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..simulate import Timeline
+
+__all__ = ["ResourceMonitor", "ClusterMonitor", "merge_intervals"]
+
+
+def merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Sort and coalesce possibly-overlapping (start, end) intervals."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    out = [ordered[0]]
+    for s, e in ordered[1:]:
+        ls, le = out[-1]
+        if s <= le:
+            if e > le:
+                out[-1] = (ls, e)
+        else:
+            out.append((s, e))
+    return out
+
+
+class ResourceMonitor:
+    """Busy/idle intervals + queue-depth samples for one resource.
+
+    ``kind`` classifies the resource for bottleneck attribution:
+    ``"cpu"`` (daemon service loop), ``"disk"``, ``"nic"`` (a TX or RX
+    link), ``"queue"`` (an inbox — depth only), or ``"client"``
+    (application-level request windows).
+    """
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.intervals: List[Tuple[float, float]] = []
+        self.queue_depth = Timeline(f"{name}.queue")
+        self._open: Optional[float] = None
+        self._depth = 0
+
+    # -- hooks (called by the instrumented primitives) -----------------
+    def on_busy(self, t: float) -> None:
+        if self._depth == 0:
+            self._open = t
+        self._depth += 1
+
+    def on_idle(self, t: float) -> None:
+        if self._depth == 0:
+            return  # spurious idle (never busy) — ignore
+        self._depth -= 1
+        if self._depth == 0 and self._open is not None:
+            self.intervals.append((self._open, t))
+            self._open = None
+
+    def on_queue(self, t: float, depth: float) -> None:
+        self.queue_depth.record(t, depth)
+
+    # -- analysis ------------------------------------------------------
+    def close(self, t: float) -> None:
+        """Close any dangling busy interval at capture time ``t``."""
+        if self._open is not None and self._depth > 0:
+            self.intervals.append((self._open, t))
+            self._open = None
+            self._depth = 0
+
+    def merged(self) -> List[Tuple[float, float]]:
+        return merge_intervals(self.intervals)
+
+    def busy_within(self, t0: float, t1: float) -> float:
+        """Seconds busy inside the window ``[t0, t1]``."""
+        total = 0.0
+        for s, e in self.merged():
+            lo, hi = max(s, t0), min(e, t1)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Busy fraction of the window (0.0 for an empty window)."""
+        if t1 <= t0:
+            return 0.0
+        return self.busy_within(t0, t1) / (t1 - t0)
+
+    def queue_mean(self, t0: float, t1: float) -> float:
+        return self.queue_depth.mean_over(t0, t1)
+
+    def queue_percentile(self, t0: float, t1: float, q: float) -> float:
+        """Time-weighted depth percentile over the window: the depth the
+        queue was at or below for a ``q`` fraction of the window."""
+        if t1 <= t0:
+            return 0.0
+        tl = self.queue_depth
+        # Build (duration, depth) segments clipped to the window; depth is
+        # 0 before the first sample and the last sample persists.
+        segments: List[Tuple[float, float]] = []
+        if not tl.times:
+            return 0.0
+        if t0 < tl.times[0]:
+            segments.append((min(t1, tl.times[0]) - t0, 0.0))
+        for i in range(len(tl.times)):
+            seg_start = tl.times[i]
+            seg_end = tl.times[i + 1] if i + 1 < len(tl.times) else t1
+            lo, hi = max(seg_start, t0), min(seg_end, t1)
+            if hi > lo:
+                segments.append((hi - lo, tl.values[i]))
+        total = sum(d for d, _ in segments)
+        if total <= 0.0:
+            return 0.0
+        target = q * total
+        acc = 0.0
+        for dur, depth in sorted(segments, key=lambda s: s[1]):
+            acc += dur
+            if acc >= target:
+                return depth
+        return segments[-1][1]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResourceMonitor {self.name} [{self.kind}] "
+            f"intervals={len(self.intervals)} samples={len(self.queue_depth)}>"
+        )
+
+
+class ClusterMonitor:
+    """Attach a :class:`ResourceMonitor` to every resource of a cluster.
+
+    Lanes created (names double as Perfetto thread labels and bottleneck
+    report rows):
+
+    * ``<node>.nic.tx`` / ``<node>.nic.rx`` — every node's NIC links,
+    * ``iod<i>.cpu`` — each I/O daemon's request-service loop,
+    * ``iod<i>.disk`` — each daemon's disk,
+    * ``iod<i>.inbox`` — each daemon's request queue (depth only),
+    * ``client<i>.app`` — each client's logical-request windows.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.t0 = cluster.sim.now
+        self.monitors: Dict[str, ResourceMonitor] = {}
+        for node in cluster.net.nodes():
+            node.tx.monitor = self._new(f"{node.name}.nic.tx", "nic")
+            node.rx.monitor = self._new(f"{node.name}.nic.rx", "nic")
+        for iod in cluster.iods:
+            iod.monitor = self._new(f"iod{iod.index}.cpu", "cpu")
+            iod.disk.monitor = self._new(f"iod{iod.index}.disk", "disk")
+            iod.inbox.monitor = self._new(f"iod{iod.index}.inbox", "queue")
+        for client in cluster.clients:
+            client.monitor = self._new(f"client{client.index}.app", "client")
+
+    def _new(self, name: str, kind: str) -> ResourceMonitor:
+        mon = ResourceMonitor(name, kind)
+        self.monitors[name] = mon
+        return mon
+
+    def close(self, t: float) -> None:
+        """Close dangling busy intervals at capture time ``t``."""
+        for mon in self.monitors.values():
+            mon.close(t)
+
+    def detach(self) -> None:
+        """Unhook every monitor (the cluster reverts to zero-cost)."""
+        for node in self.cluster.net.nodes():
+            node.tx.monitor = None
+            node.rx.monitor = None
+        for iod in self.cluster.iods:
+            iod.monitor = None
+            iod.disk.monitor = None
+            iod.inbox.monitor = None
+        for client in self.cluster.clients:
+            client.monitor = None
+
+    def __repr__(self) -> str:
+        return f"<ClusterMonitor resources={len(self.monitors)}>"

@@ -201,6 +201,9 @@ class PVFSFile:
         if kind == "write":
             # Per-exchange turnaround stall (see CostModel.client_write_turnaround).
             yield sim.timeout(costs.client_write_turnaround)
+        if client.monitor is not None:
+            client.monitor.on_busy(t_start)
+            client.monitor.on_idle(sim.now)
         tracer = client.cluster.tracer
         if tracer is not None and tracer.enabled:
             tracer.record(
@@ -211,6 +214,7 @@ class PVFSFile:
                 client=client.index,
                 regions=regions.count,
                 servers=smap.n_servers,
+                nbytes=regions.total_bytes,
             )
         if kind == "read" and client.move_bytes:
             out = np.zeros(regions.total_bytes, dtype=np.uint8)
@@ -293,6 +297,9 @@ class PVFSClient:
         self.list_io_max_regions = cluster.config.list_io_max_regions
         self.move_bytes = cluster.move_bytes
         self.scope = cluster.counters.scoped(f"client.{index}")
+        #: Optional observability hook with ``on_busy(t)`` / ``on_idle(t)``
+        #: marking the window of each logical request; None = untraced.
+        self.monitor = None
 
     # ------------------------------------------------------------------
     def open(self, path: str, create: bool = False, stripe=None):

@@ -79,7 +79,7 @@ class Cluster:
         self.sim = Simulator()
         self.counters = Counters()
         self.tracer = Tracer(enabled=trace)
-        self.net = Network(self.sim, config.network, self.counters)
+        self.net = Network(self.sim, config.network, self.counters, tracer=self.tracer)
         self.namespace = Namespace(config.stripe)
 
         # --- nodes -------------------------------------------------------

@@ -61,6 +61,9 @@ class IOD:
         self.requests_served = 0
         self.regions_served = 0
         self.busy_time = 0.0
+        #: Optional observability hook with ``on_busy(t)`` / ``on_idle(t)``
+        #: marking request-service intervals (see :mod:`repro.obs.monitor`).
+        self.monitor = None
         #: Service-time multiplier for fault/straggler injection: 1.0 is a
         #: healthy daemon; 4.0 models a degraded node (failing disk,
         #: swapping, cpu contention).  May be changed between workloads.
@@ -92,7 +95,9 @@ class IOD:
                 # Flush this disk's dirty pages to media before acking.
                 flush_t = self.disk.flush_time() * scale
                 if flush_t > 0:
+                    t_disk = sim.now
                     yield sim.timeout(flush_t)
+                    self._note_disk(t_disk, sim.now, "flush", 0)
                 scope.add("fsyncs")
                 self.sim.process(
                     self._respond(req, True), name=f"iod{self.index}.respond"
@@ -100,7 +105,9 @@ class IOD:
             elif req.kind == "read":
                 disk_t = self.disk.read_time(req.file_id, req.regions) * scale
                 if disk_t > 0:
+                    t_disk = sim.now
                     yield sim.timeout(disk_t)
+                    self._note_disk(t_disk, sim.now, "read", req.regions.total_bytes)
                 data = self.store.read(req.file_id, req.regions) if self.move_bytes else None
                 scope.add("read_requests")
                 scope.add("read_bytes", req.regions.total_bytes)
@@ -116,7 +123,9 @@ class IOD:
                     runs = req.regions.coalesced()
                     n_small = int((runs.lengths < costs.small_write_threshold).sum())
                     disk_t += n_small * costs.small_write_penalty
+                t_disk = sim.now
                 yield sim.timeout(disk_t * scale)
+                self._note_disk(t_disk, sim.now, "write", req.regions.total_bytes)
                 if self.move_bytes and req.data is not None:
                     self.store.write(req.file_id, req.regions, req.data)
                 scope.add("write_requests")
@@ -127,6 +136,9 @@ class IOD:
             self.requests_served += 1
             self.regions_served += n
             self.busy_time += sim.now - started
+            if self.monitor is not None:
+                self.monitor.on_busy(started)
+                self.monitor.on_idle(sim.now)
             scope.add("regions", n)
             if self.tracer is not None and self.tracer.enabled:
                 if req.enqueued_at is not None:
@@ -142,6 +154,16 @@ class IOD:
                     regions=n,
                     nbytes=req.regions.total_bytes,
                 )
+
+    def _note_disk(self, start: float, end: float, kind: str, nbytes: int) -> None:
+        """Account one disk access window (utilization + optional span)."""
+        if end <= start:
+            return
+        self.disk.note_busy(start, end)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(
+                "disk.busy", kind, start, end, iod=self.index, nbytes=nbytes
+            )
 
     def _respond(self, req: IORequest, payload):
         yield from self.net.transfer(self.node, req.client_node, req.response_bytes)

@@ -62,6 +62,11 @@ class Resource:
         self.total_requests = 0
         self._busy_since: Optional[float] = None
         self.busy_time = 0.0
+        #: Optional observability hook (see :mod:`repro.obs.monitor`): an
+        #: object with ``on_busy(t)``, ``on_idle(t)``, and
+        #: ``on_queue(t, depth)``.  None (the default) costs one attribute
+        #: check per transition, so untraced runs are unaffected.
+        self.monitor = None
 
     @property
     def in_use(self) -> int:
@@ -75,6 +80,8 @@ class Resource:
         req = Request(self)
         self.total_requests += 1
         self._queue.append(req)
+        if self.monitor is not None:
+            self.monitor.on_queue(self.sim.now, len(self._queue))
         self._grant()
         return req
 
@@ -84,6 +91,8 @@ class Resource:
             if not self._users and self._busy_since is not None:
                 self.busy_time += self.sim.now - self._busy_since
                 self._busy_since = None
+                if self.monitor is not None:
+                    self.monitor.on_idle(self.sim.now)
             self._grant()
         else:
             # Cancelling an ungranted request is allowed (context-manager
@@ -94,14 +103,20 @@ class Resource:
                 pass
 
     def _grant(self) -> None:
+        granted = False
         while self._queue and len(self._users) < self.capacity:
             req = self._queue.popleft()
             if req.triggered:  # cancelled/failed while queued
                 continue
             if not self._users and self._busy_since is None:
                 self._busy_since = self.sim.now
+                if self.monitor is not None:
+                    self.monitor.on_busy(self.sim.now)
             self._users.append(req)
             req.succeed(req)
+            granted = True
+        if granted and self.monitor is not None:
+            self.monitor.on_queue(self.sim.now, len(self._queue))
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time at least one unit was in use."""
@@ -151,6 +166,9 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self.total_put = 0
+        #: Optional observability hook sampling queue depth on every
+        #: put/get (``on_queue(t, depth)``); None = untraced, free.
+        self.monitor = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -164,14 +182,20 @@ class Store:
             if getter.triggered:
                 continue
             getter.succeed(item)
+            if self.monitor is not None:
+                self.monitor.on_queue(self.sim.now, len(self._items))
             return
         self._items.append(item)
+        if self.monitor is not None:
+            self.monitor.on_queue(self.sim.now, len(self._items))
 
     def get(self) -> Event:
         """Event that fires with the next item."""
         ev = Event(self.sim)
         if self._items:
             ev.succeed(self._items.popleft())
+            if self.monitor is not None:
+                self.monitor.on_queue(self.sim.now, len(self._items))
         else:
             self._getters.append(ev)
         return ev

@@ -114,11 +114,53 @@ class Timeline:
         return max(self.values) if self.values else 0.0
 
     def time_weighted_mean(self) -> float:
-        """Mean of the piecewise-constant signal defined by the samples."""
+        """Mean of the piecewise-constant signal defined by the samples.
+
+        Guarded edge cases: an empty timeline is 0.0, a single sample is
+        that sample's value, and coincident samples (zero total span) yield
+        the last value recorded.
+        """
+        if not self.values:
+            return 0.0
         if len(self.times) < 2:
-            return self.values[0] if self.values else 0.0
+            return self.values[0]
+        span = self.times[-1] - self.times[0]
+        if span <= 0.0:
+            return self.values[-1]
         total = 0.0
         for i in range(len(self.times) - 1):
             total += self.values[i] * (self.times[i + 1] - self.times[i])
-        span = self.times[-1] - self.times[0]
-        return total / span if span > 0 else self.values[-1]
+        return total / span
+
+    def integrate(self, t0: float, t1: float, initial: float = 0.0) -> float:
+        """Integral of the piecewise-constant signal over ``[t0, t1]``.
+
+        Sample i's value holds from ``times[i]`` until the next sample; the
+        last value persists beyond ``times[-1]``.  Before the first sample
+        the signal is ``initial`` (queue depths start at zero, not at the
+        first recorded depth).  Used to compute utilization over arbitrary
+        sub-windows of a run.
+        """
+        if t1 < t0:
+            raise ValueError(f"integration window reversed: {t0} .. {t1}")
+        if not self.times:
+            return initial * (t1 - t0)
+        total = 0.0
+        # Segment before the first sample.
+        if t0 < self.times[0]:
+            total += initial * (min(t1, self.times[0]) - t0)
+        # Interior segments [times[i], times[i+1]) at values[i].
+        for i in range(len(self.times)):
+            seg_start = self.times[i]
+            seg_end = self.times[i + 1] if i + 1 < len(self.times) else t1
+            lo = max(seg_start, t0)
+            hi = min(seg_end, t1)
+            if hi > lo:
+                total += self.values[i] * (hi - lo)
+        return total
+
+    def mean_over(self, t0: float, t1: float, initial: float = 0.0) -> float:
+        """Mean of the signal over ``[t0, t1]`` (0.0 for an empty window)."""
+        if t1 <= t0:
+            return 0.0
+        return self.integrate(t0, t1, initial=initial) / (t1 - t0)

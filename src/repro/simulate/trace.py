@@ -52,6 +52,10 @@ class Tracer:
         self.capacity = capacity
         self.spans: List[Span] = []
         self.dropped = 0
+        #: Per-category drop counts, so a truncated trace says *which*
+        #: category was cut off (a run that drops only ``net.xfer`` spans
+        #: still has trustworthy ``iod.service`` statistics).
+        self.dropped_by_category: Dict[str, int] = defaultdict(int)
 
     def record(
         self,
@@ -68,6 +72,7 @@ class Tracer:
             raise ValueError(f"span ends before it starts: {start} .. {end}")
         if self.capacity is not None and len(self.spans) >= self.capacity:
             self.dropped += 1
+            self.dropped_by_category[category] += 1
             return
         self.spans.append(
             Span(category, label, start, end, tuple(sorted(meta.items())))
@@ -92,7 +97,7 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-category stats: count, total, mean, p50, p95, max seconds."""
+        """Per-category stats: count, total, mean, p50, p95, p99, max seconds."""
         grouped: Dict[str, List[float]] = defaultdict(list)
         for s in self.spans:
             grouped[s.category].append(s.duration)
@@ -105,6 +110,7 @@ class Tracer:
                 "mean": float(sum(durs) / len(durs)),
                 "p50": _percentile(durs, 0.50),
                 "p95": _percentile(durs, 0.95),
+                "p99": _percentile(durs, 0.99),
                 "max": durs[-1],
             }
         return out
@@ -115,18 +121,24 @@ class Tracer:
         if not stats:
             return "(no spans recorded)\n"
         lines = [
-            "| category | count | total (s) | mean (ms) | p50 (ms) | p95 (ms) | max (ms) |",
-            "|---|---|---|---|---|---|---|",
+            "| category | count | total (s) | mean (ms) | p50 (ms) | p95 (ms) | p99 (ms) | max (ms) |",
+            "|---|---|---|---|---|---|---|---|",
         ]
         for cat in sorted(stats):
             s = stats[cat]
             lines.append(
                 f"| {cat} | {int(s['count'])} | {s['total']:.3f} "
                 f"| {s['mean'] * 1e3:.3f} | {s['p50'] * 1e3:.3f} "
-                f"| {s['p95'] * 1e3:.3f} | {s['max'] * 1e3:.3f} |"
+                f"| {s['p95'] * 1e3:.3f} | {s['p99'] * 1e3:.3f} "
+                f"| {s['max'] * 1e3:.3f} |"
             )
         if self.dropped:
-            lines.append(f"\n({self.dropped} spans dropped at capacity)")
+            per_cat = ", ".join(
+                f"{cat}={n}" for cat, n in sorted(self.dropped_by_category.items())
+            )
+            lines.append(
+                f"\n({self.dropped} spans dropped at capacity: {per_cat})"
+            )
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:

@@ -1,0 +1,241 @@
+"""Tests for repro.obs: monitors, utilization windows, bottleneck attribution."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, StripeParams
+from repro.obs import (
+    BottleneckReport,
+    ClusterMonitor,
+    ObsSession,
+    ResourceMonitor,
+    attribute,
+    merge_intervals,
+)
+from repro.pvfs import Cluster
+from repro.regions import RegionList
+from repro.simulate import Resource, Simulator, Store
+
+
+def small_cluster(trace=False):
+    return Cluster.build(
+        ClusterConfig(n_clients=2, n_iods=2, stripe=StripeParams(stripe_size=128)),
+        trace=trace,
+    )
+
+
+def workload(client):
+    f = yield from client.open("/obs", create=True)
+    yield from f.write_list(
+        RegionList.strided(client.index * 64, 12, 16, 256),
+        np.zeros(192, np.uint8),
+    )
+    yield from f.read(0, 256)
+    yield from f.close()
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(3, 4), (0, 1)]) == [(0, 1), (3, 4)]
+
+    def test_overlap_coalesced(self):
+        assert merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_touching_coalesced(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+
+class TestResourceMonitor:
+    def test_busy_interval_recording(self):
+        m = ResourceMonitor("r", "cpu")
+        m.on_busy(1.0)
+        m.on_idle(3.0)
+        m.on_busy(5.0)
+        m.on_idle(6.0)
+        assert m.intervals == [(1.0, 3.0), (5.0, 6.0)]
+        assert m.busy_within(0.0, 10.0) == pytest.approx(3.0)
+        assert m.utilization(0.0, 10.0) == pytest.approx(0.3)
+
+    def test_sub_window_utilization(self):
+        m = ResourceMonitor("r", "disk")
+        m.on_busy(0.0)
+        m.on_idle(4.0)
+        # Window clips the interval.
+        assert m.busy_within(2.0, 6.0) == pytest.approx(2.0)
+        assert m.utilization(2.0, 6.0) == pytest.approx(0.5)
+        assert m.utilization(5.0, 6.0) == 0.0
+
+    def test_nested_busy_depth(self):
+        m = ResourceMonitor("r", "client")
+        m.on_busy(0.0)
+        m.on_busy(1.0)  # nested
+        m.on_idle(2.0)
+        m.on_idle(5.0)
+        assert m.intervals == [(0.0, 5.0)]
+
+    def test_spurious_idle_ignored(self):
+        m = ResourceMonitor("r", "cpu")
+        m.on_idle(1.0)
+        assert m.intervals == []
+
+    def test_close_dangling(self):
+        m = ResourceMonitor("r", "nic")
+        m.on_busy(2.0)
+        m.close(7.0)
+        assert m.intervals == [(2.0, 7.0)]
+        m.close(9.0)  # no-op: nothing open
+        assert m.intervals == [(2.0, 7.0)]
+
+    def test_queue_percentile_time_weighted(self):
+        m = ResourceMonitor("q", "queue")
+        m.on_queue(0.0, 0)
+        m.on_queue(1.0, 10)  # depth 10 for 9s of a 10s window
+        assert m.queue_percentile(0.0, 10.0, 0.95) == 10
+        assert m.queue_percentile(0.0, 10.0, 0.05) == 0
+        assert m.queue_mean(0.0, 10.0) == pytest.approx(9.0)
+
+    def test_queue_percentile_empty(self):
+        m = ResourceMonitor("q", "queue")
+        assert m.queue_percentile(0.0, 1.0, 0.95) == 0.0
+
+
+class TestResourceHooks:
+    def test_resource_reports_busy_and_queue(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, name="link")
+        mon = ResourceMonitor("link", "nic")
+        res.monitor = mon
+
+        def user(hold):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(hold)
+
+        sim.process(user(2.0))
+        sim.process(user(1.0))
+        sim.run()
+        # One continuous busy window 0..3 (second user queued behind first).
+        assert mon.merged() == [(0.0, 3.0)]
+        assert mon.queue_depth.max_value() >= 1
+
+    def test_store_samples_depth(self):
+        sim = Simulator()
+        store = Store(sim, name="inbox")
+        mon = ResourceMonitor("inbox", "queue")
+        store.monitor = mon
+        store.put("a")
+        store.put("b")
+        store.get()
+        assert list(mon.queue_depth.values) == [1, 2, 1]
+
+
+class TestClusterMonitor:
+    def test_attaches_all_resources(self):
+        cluster = small_cluster(trace=True)
+        mon = ClusterMonitor(cluster)
+        names = set(mon.monitors)
+        assert "iod0.cpu" in names
+        assert "iod1.disk" in names
+        assert "iod0.inbox" in names
+        assert "client0.app" in names
+        assert "client1.nic.tx" in names
+        assert "iod0.nic.rx" in names
+
+    def test_detach_restores_zero_cost(self):
+        cluster = small_cluster(trace=True)
+        mon = ClusterMonitor(cluster)
+        mon.detach()
+        assert cluster.iods[0].monitor is None
+        assert cluster.iods[0].disk.monitor is None
+        assert cluster.clients[0].monitor is None
+        assert cluster.net.nodes()[0].tx.monitor is None
+
+    def test_utilizations_in_range(self):
+        obs = ObsSession()
+        cluster = small_cluster(trace=True)
+        obs.attach(cluster)
+        cluster.run_workload(workload)
+        run = obs.capture(cluster, label="u")
+        for m in run.monitors.values():
+            if m.kind == "queue":
+                continue
+            u = m.utilization(run.t0, run.t1)
+            assert 0.0 <= u <= 1.0 + 1e-9, m.name
+        # Something must have been busy.
+        assert any(
+            m.utilization(run.t0, run.t1) > 0
+            for m in run.monitors.values()
+            if m.kind != "queue"
+        )
+
+
+class TestBottleneckAttribution:
+    def test_shares_plus_idle_sum_to_one(self):
+        obs = ObsSession()
+        cluster = small_cluster(trace=True)
+        obs.attach(cluster)
+        cluster.run_workload(workload)
+        report = obs.capture(cluster, label="sum").report()
+        total = report.idle_share + sum(
+            r.critical_path_share
+            for r in report.resources
+            if r.kind in ("cpu", "disk", "nic")
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_report_ranked_and_verdict(self):
+        obs = ObsSession()
+        cluster = small_cluster(trace=True)
+        obs.attach(cluster)
+        cluster.run_workload(workload)
+        report = obs.capture(cluster, label="rank").report()
+        assert isinstance(report, BottleneckReport)
+        shares = [r.critical_path_share for r in report.resources]
+        assert shares == sorted(shares, reverse=True)
+        assert report.verdict
+        md = report.to_markdown()
+        assert "verdict" in md
+        assert "| resource |" in md
+        js = report.to_json()
+        assert js["verdict"] == report.verdict
+        assert js["resources"]
+
+    def test_synthetic_disk_bound(self):
+        # One resource busy the whole window -> named in the verdict.
+        disk = ResourceMonitor("iod0.disk", "disk")
+        disk.on_busy(0.0)
+        disk.on_idle(10.0)
+        nic = ResourceMonitor("iod0.nic.tx", "nic")
+        nic.on_busy(0.0)
+        nic.on_idle(1.0)
+        report = attribute(
+            {"iod0.disk": disk, "iod0.nic.tx": nic}, 0.0, 10.0, label="synth"
+        )
+        assert "disk-bound" in report.verdict
+        assert "iod0.disk" in report.verdict
+        top = report.resources[0]
+        assert top.name == "iod0.disk"
+        assert top.utilization == pytest.approx(1.0)
+
+    def test_empty_window_idle(self):
+        report = attribute({}, 0.0, 0.0, label="empty")
+        assert report.idle_share == 1.0
+        assert "idle-bound" in report.verdict
+
+
+class TestDeterminism:
+    def test_observed_run_is_bit_identical(self):
+        def run(observe):
+            cluster = small_cluster(trace=observe)
+            obs = ObsSession()
+            if observe:
+                obs.attach(cluster)
+            result = cluster.run_workload(workload)
+            if observe:
+                obs.capture(cluster)
+            return result.elapsed, tuple(result.client_times)
+
+        assert run(True) == run(False)

@@ -1,0 +1,171 @@
+"""Tests for the Perfetto trace-event exporter (repro.obs.perfetto)."""
+
+import json
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, StripeParams
+from repro.obs import ObsSession, build_trace, write_trace
+from repro.pvfs import Cluster
+from repro.regions import RegionList
+
+
+def captured_run():
+    obs = ObsSession()
+    cluster = Cluster.build(
+        ClusterConfig(n_clients=2, n_iods=2, stripe=StripeParams(stripe_size=128)),
+        trace=True,
+    )
+    obs.attach(cluster)
+
+    def wl(client):
+        f = yield from client.open("/p", create=True)
+        yield from f.write_list(
+            RegionList.strided(client.index * 64, 8, 16, 256),
+            np.zeros(128, np.uint8),
+        )
+        yield from f.read(0, 512)
+        yield from f.close()
+
+    cluster.run_workload(wl)
+    return obs, obs.capture(cluster, label="perfetto-test")
+
+
+class TestTraceEventSchema:
+    def test_required_keys_on_complete_events(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans, "no span events exported"
+        for e in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            assert isinstance(e["pid"], int) and e["pid"] >= 1
+            assert isinstance(e["tid"], int) and e["tid"] >= 1
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+
+    def test_timestamps_are_microseconds(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # Spans carry seconds; events must carry the same times in us.
+        span_starts = sorted(s.start * 1e6 for s in run.spans)
+        event_starts = sorted(e["ts"] for e in spans)
+        # net.xfer events are mirrored onto the RX lane, so compare sets.
+        assert set(round(t, 6) for t in event_starts) <= set(
+            round(t, 6) for t in span_starts
+        )
+        # The run window in us bounds every event.
+        for e in spans:
+            assert e["ts"] + e["dur"] <= run.t1 * 1e6 + 1e-6
+
+    def test_monotonic_timestamps_per_lane(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        lanes = defaultdict(list)
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                lanes[(e["pid"], e["tid"])].append(e["ts"])
+        assert lanes
+        for lane, ts in lanes.items():
+            assert ts == sorted(ts), f"lane {lane} not monotonic"
+
+    def test_counter_events_for_queue_depth(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        for e in counters:
+            assert {"name", "ph", "ts", "pid", "args"} <= set(e)
+            assert "depth" in e["args"]
+
+    def test_process_and_thread_metadata(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        proc_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert {"client0", "client1", "iod0", "iod1"} <= proc_names
+        assert {"requests", "service", "disk", "nic.tx", "nic.rx"} <= thread_names
+
+    def test_lane_placement(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        evs = doc["traceEvents"]
+        pid_of = {
+            e["args"]["name"]: e["pid"]
+            for e in evs
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        # Every iod.service span sits on the pid of its own daemon.
+        for e in evs:
+            if e.get("cat") == "iod.service":
+                iod = e["args"]["iod"]
+                assert e["pid"] == pid_of[f"iod{iod}"]
+            if e.get("cat") == "client.request":
+                cl = e["args"]["client"]
+                assert e["pid"] == pid_of[f"client{cl}"]
+
+    def test_other_data_self_describing(self):
+        _, run = captured_run()
+        doc = build_trace(run)
+        other = doc["otherData"]
+        assert other["label"] == "perfetto-test"
+        assert other["window_s"] == pytest.approx(run.elapsed)
+        assert "bottleneck" in other and other["bottleneck"]["verdict"]
+        assert "span_summary" in other
+
+
+class TestRoundTrip:
+    def test_write_and_reload(self, tmp_path):
+        _, run = captured_run()
+        path = tmp_path / "trace.json"
+        doc = write_trace(run, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert loaded["traceEvents"]
+
+    def test_session_export_picks_best_run(self, tmp_path):
+        obs, _ = captured_run()
+        path = tmp_path / "best.json"
+        obs.export_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["label"] == "perfetto-test"
+
+    def test_export_without_runs_raises(self, tmp_path):
+        obs = ObsSession()
+        with pytest.raises(ValueError):
+            obs.export_trace(str(tmp_path / "x.json"))
+
+
+class TestTracingIsFree:
+    def test_identical_completion_times_with_and_without_obs(self):
+        def run(observe):
+            cluster = Cluster.build(
+                ClusterConfig(n_clients=4, n_iods=4), trace=observe
+            )
+            obs = ObsSession() if observe else None
+            if obs:
+                obs.attach(cluster)
+
+            def wl(client):
+                f = yield from client.open("/same", create=True)
+                yield from f.write_list(
+                    RegionList.strided(client.index * 512, 32, 64, 1024),
+                    np.zeros(2048, np.uint8),
+                )
+                yield from f.read(client.index * 128, 4096)
+                yield from f.close()
+
+            result = cluster.run_workload(wl)
+            return result.elapsed, tuple(result.client_times)
+
+        on = run(True)
+        off = run(False)
+        assert on == off  # bit-identical, not approx

@@ -100,3 +100,58 @@ class TestTimeline:
         t.record(1.0, 4.0)
         t.record(1.0, 6.0)
         assert t.time_weighted_mean() == 6.0
+
+    def test_time_weighted_mean_empty(self):
+        assert Timeline().time_weighted_mean() == 0.0
+
+
+class TestTimelineIntegrate:
+    def timeline(self):
+        t = Timeline("depth")
+        t.record(1.0, 2.0)  # value 2 on [1, 3)
+        t.record(3.0, 4.0)  # value 4 on [3, inf)
+        return t
+
+    def test_integrate_full_window(self):
+        t = self.timeline()
+        # [1,3): 2*2 = 4; [3,5): 4*2 = 8
+        assert t.integrate(1.0, 5.0) == pytest.approx(12.0)
+
+    def test_integrate_clips_to_window(self):
+        t = self.timeline()
+        # [2,3): 2*1; [3,4): 4*1
+        assert t.integrate(2.0, 4.0) == pytest.approx(6.0)
+
+    def test_integrate_before_first_sample_uses_initial(self):
+        t = self.timeline()
+        # [0,1): initial 7; [1,3): 2*2
+        assert t.integrate(0.0, 3.0, initial=7.0) == pytest.approx(11.0)
+        # default initial is 0
+        assert t.integrate(0.0, 3.0) == pytest.approx(4.0)
+
+    def test_integrate_window_entirely_before_samples(self):
+        t = self.timeline()
+        assert t.integrate(0.0, 0.5, initial=3.0) == pytest.approx(1.5)
+
+    def test_integrate_last_value_persists(self):
+        t = self.timeline()
+        assert t.integrate(10.0, 12.0) == pytest.approx(8.0)
+
+    def test_integrate_empty_timeline(self):
+        t = Timeline()
+        assert t.integrate(0.0, 4.0) == 0.0
+        assert t.integrate(0.0, 4.0, initial=2.5) == pytest.approx(10.0)
+
+    def test_integrate_reversed_window_raises(self):
+        with pytest.raises(ValueError):
+            self.timeline().integrate(5.0, 1.0)
+
+    def test_mean_over(self):
+        t = self.timeline()
+        assert t.mean_over(1.0, 5.0) == pytest.approx(3.0)
+        assert t.mean_over(10.0, 12.0) == pytest.approx(4.0)
+
+    def test_mean_over_degenerate_window(self):
+        t = self.timeline()
+        assert t.mean_over(2.0, 2.0) == 0.0
+        assert t.mean_over(3.0, 2.0) == 0.0

@@ -51,6 +51,25 @@ class TestTracer:
         assert t.dropped == 3
         assert "dropped" in t.format_summary()
 
+    def test_drops_accounted_per_category(self):
+        t = Tracer(capacity=3)
+        t.record("a", "x", 0, 1)
+        t.record("a", "x", 0, 1)
+        t.record("b", "y", 0, 1)
+        for _ in range(4):
+            t.record("a", "x", 0, 1)  # dropped
+        t.record("b", "y", 0, 1)  # dropped
+        assert t.dropped == 5
+        assert dict(t.dropped_by_category) == {"a": 4, "b": 1}
+        out = t.format_summary()
+        assert "a=4" in out and "b=1" in out
+
+    def test_no_drops_no_per_category_detail(self):
+        t = Tracer()
+        t.record("c", "l", 0, 1)
+        assert dict(t.dropped_by_category) == {}
+        assert "dropped" not in t.format_summary()
+
     def test_summary_statistics(self):
         t = Tracer()
         for d in (1.0, 2.0, 3.0, 4.0, 100.0):
@@ -62,6 +81,17 @@ class TestTracer:
         assert s["p50"] == 3.0
         assert s["max"] == 100.0
         assert s["p95"] == 100.0
+        assert s["p99"] == 100.0
+
+    def test_p99_separates_tail_from_p95(self):
+        t = Tracer()
+        for i in range(1, 101):
+            t.record("c", "l", 0.0, float(i))
+        s = t.summary()["c"]
+        assert s["p95"] == 95.0
+        assert s["p99"] == 99.0
+        assert s["max"] == 100.0
+        assert "p99" in t.format_summary()
 
     def test_format_summary_markdown(self):
         t = Tracer()
