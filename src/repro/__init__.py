@@ -11,7 +11,24 @@ from .config import (
     NetworkConfig,
     StripeParams,
 )
-from .errors import ReproError
+from .errors import (
+    FaultError,
+    ReproError,
+    RetryExhausted,
+    ServerCrashed,
+    TimeoutError,
+)
+from .faults import (
+    DiskStall,
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    IodCrash,
+    LinkDown,
+    PacketLoss,
+    RetryPolicy,
+    Straggler,
+)
 from .regions import RegionList
 
 # Higher layers (import order matters: these pull in network/storage/pvfs).
@@ -38,6 +55,19 @@ __all__ = [
     "StripeParams",
     "RegionList",
     "ReproError",
+    "FaultError",
+    "TimeoutError",
+    "ServerCrashed",
+    "RetryExhausted",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "IodCrash",
+    "DiskStall",
+    "LinkDown",
+    "PacketLoss",
+    "Straggler",
     "Cluster",
     "WorkloadResult",
     "Communicator",

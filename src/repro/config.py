@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .errors import ConfigError
+from .faults.plan import FaultConfig
 from .units import KiB, MiB, Mbit_per_s, msec, usec
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "CostModel",
     "StripeParams",
     "ClusterConfig",
+    "FaultConfig",
     "DEFAULT_LIST_IO_MAX_REGIONS",
     "DEFAULT_SIEVE_BUFFER_SIZE",
 ]
@@ -63,12 +65,17 @@ class NetworkConfig:
     mtu: int = 1500  # Ethernet MTU in bytes
     ip_tcp_overhead: int = 40  # IPv4 + TCP headers inside the MTU
     frame_overhead: int = 38  # preamble(8)+eth hdr(14)+FCS(4)+IFG(12)
+    #: TCP retransmission timeout charged per lost frame (and as the
+    #: reconnect delay after a link-flap window) under fault injection —
+    #: the Linux minimum RTO of the paper's era.  Irrelevant without faults.
+    retransmit_timeout: float = msec(200.0)
 
     def __post_init__(self) -> None:
         _require(self.bandwidth > 0, "bandwidth must be positive")
         _require(self.latency >= 0, "latency must be non-negative")
         _require(self.mtu > self.ip_tcp_overhead, "mtu must exceed IP/TCP overhead")
         _require(self.frame_overhead >= 0, "frame_overhead must be non-negative")
+        _require(self.retransmit_timeout >= 0, "retransmit_timeout must be non-negative")
 
     @property
     def mtu_payload(self) -> int:
@@ -254,6 +261,10 @@ class ClusterConfig:
     manager_on_iod0: bool = True
     #: RNG seed for any stochastic component (kept deterministic).
     seed: int = 0x5EED
+    #: Fault schedule + client retry policy (see :mod:`repro.faults`).  The
+    #: default is inert: empty plan, no timeouts, no retries — runs are
+    #: bit-identical to a cluster with no fault subsystem at all.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         _require(self.n_clients > 0, "n_clients must be positive")

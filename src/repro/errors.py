@@ -7,6 +7,8 @@ programming errors (``TypeError`` from bad call signatures, etc.) propagate.
 
 from __future__ import annotations
 
+import builtins
+
 __all__ = [
     "ReproError",
     "RegionError",
@@ -22,6 +24,10 @@ __all__ = [
     "ConfigError",
     "PatternError",
     "ModelError",
+    "FaultError",
+    "TimeoutError",
+    "ServerCrashed",
+    "RetryExhausted",
 ]
 
 
@@ -85,3 +91,33 @@ class PatternError(ReproError):
 
 class ModelError(ReproError):
     """Raised by the analytic performance model."""
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault failures a robust client can retry or
+    surface (see :mod:`repro.faults`)."""
+
+
+class TimeoutError(FaultError, builtins.TimeoutError):
+    """A request exceeded its per-request timeout budget.
+
+    Also derives from the builtin ``TimeoutError`` so generic handlers work.
+    """
+
+
+class ServerCrashed(FaultError):
+    """The I/O daemon holding the request crashed (or refused the
+    connection while down) before acknowledging it."""
+
+
+class RetryExhausted(FaultError):
+    """The retry budget ran out before any attempt succeeded.
+
+    ``last_error`` holds the failure of the final attempt; ``attempts`` the
+    number of tries made (first attempt included).
+    """
+
+    def __init__(self, message: str, attempts: int = 0, last_error=None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -37,12 +37,17 @@ def _run_sweep(
     clients: Optional[Sequence[int]],
     accesses: Optional[Sequence[int]],
     obs=None,
+    faults=None,
 ) -> List[DataPoint]:
     points: List[DataPoint] = []
     run = model_point if mode == "model" else des_point
     extra = {} if mode == "model" else {"obs": obs}
     for n_clients in clients:
         cfg = ClusterConfig.chiba_city(n_clients=n_clients)
+        if faults is not None and mode != "model":
+            # Fault/straggler injection is a DES concept; the analytic
+            # model has no notion of time-varying degradation.
+            cfg = cfg.with_(faults=faults)
         for acc in accesses:
             pattern = pattern_fn(scale.artificial_total, n_clients, acc)
             for method in methods:
@@ -114,12 +119,13 @@ def figure9(
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     """One-dimensional cyclic read results (paper Figure 9)."""
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig09", one_dim_cyclic, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs
+        "fig09", one_dim_cyclic, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults
     )
     checks: List[Check] = []
     for n in clients:
@@ -151,12 +157,13 @@ def figure10(
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     """One-dimensional cyclic write results (paper Figure 10)."""
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig10", one_dim_cyclic, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs
+        "fig10", one_dim_cyclic, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults
     )
     checks: List[Check] = []
     for n in clients:
@@ -178,12 +185,13 @@ def figure11(
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     """Block-block read results (paper Figure 11)."""
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig11", block_block, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs
+        "fig11", block_block, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults
     )
     checks: List[Check] = []
     for n in clients:
@@ -219,12 +227,13 @@ def figure12(
     clients: Optional[Sequence[int]] = None,
     accesses: Optional[Sequence[int]] = None,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     """Block-block write results (paper Figure 12)."""
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points = _run_sweep(
-        "fig12", block_block, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs
+        "fig12", block_block, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults
     )
     checks: List[Check] = []
     for n in clients:

@@ -1,0 +1,295 @@
+"""Chaos benchmarking: the paper's workloads under injected faults.
+
+``pvfs-sim chaos`` replays a paper benchmark (artificial 1-D cyclic,
+FLASH I/O, or tiled visualization — list I/O throughout, the paper's
+fastest method) twice: once fault-free to measure the baseline, then under
+a fault scenario whose windows are placed *relative to the baseline
+elapsed time* so they always land mid-benchmark regardless of scale:
+
+* ``crash`` — I/O daemon 0 dies a third of the way in and restarts
+  ``--restart-after`` seconds later; clients ride it out with timeouts,
+  exponential backoff, and idempotent replay.
+* ``disk-stall`` — daemon 0's disk serves 20x slower for half the run.
+* ``flaky-net`` — daemon 0's NIC drops 5% of frames for most of the run
+  and loses link entirely for a sixth of it.
+* ``straggler`` — daemon 0 serves everything 8x slower, start to end.
+
+Each scenario reports goodput (useful bytes / faulty elapsed), the
+slowdown against the baseline, client survival counters (retries,
+timeouts), and — for crashes — the recovery time (crash until the
+restarted daemon completed its first request).  Runs are seeded and
+deterministic; see ``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config import ClusterConfig
+from ..core import METHODS
+from ..errors import ConfigError
+from ..faults import (
+    DiskStall,
+    FaultConfig,
+    FaultPlan,
+    IodCrash,
+    LinkDown,
+    PacketLoss,
+    RetryPolicy,
+    Straggler,
+)
+from ..patterns import flash_io, one_dim_cyclic, tiled_visualization
+from ..pvfs import Cluster
+from .presets import SCALES, SMOKE, Scale
+
+__all__ = ["SCENARIOS", "BENCHMARKS", "ChaosRow", "run_scenario", "main"]
+
+SCENARIOS: Tuple[str, ...] = ("crash", "disk-stall", "flaky-net", "straggler")
+BENCHMARKS: Tuple[str, ...] = ("artificial", "flash", "tiled")
+
+
+@dataclass
+class ChaosRow:
+    """One scenario's outcome next to its fault-free baseline."""
+
+    scenario: str
+    benchmark: str
+    baseline_s: float
+    faulty_s: float
+    useful_bytes: int
+    retries: int
+    timeouts: int
+    crashes: int
+    #: Crash-to-first-served-request time (seconds); None for non-crash
+    #: scenarios or when the daemon never recovered within the run.
+    recovery_s: Optional[float]
+    #: (sim time, description) fault transitions, for --events.
+    events: List[Tuple[float, str]]
+
+    @property
+    def slowdown(self) -> float:
+        return self.faulty_s / self.baseline_s if self.baseline_s > 0 else 0.0
+
+    @property
+    def goodput_mb_s(self) -> float:
+        return self.useful_bytes / self.faulty_s / 1e6 if self.faulty_s > 0 else 0.0
+
+
+def _pattern(benchmark: str, scale: Scale):
+    """(pattern, kind) for one benchmark at one scale."""
+    if benchmark == "artificial":
+        # The largest access count in the sweep: each client then issues
+        # several sequential list requests, so fault windows land while
+        # work is still in flight (a single-request run can finish a
+        # daemon's share before the fault fires).
+        n = min(scale.cyclic_clients)
+        return one_dim_cyclic(scale.artificial_total, n, max(scale.accesses_sweep)), "write"
+    if benchmark == "flash":
+        return flash_io(min(scale.flash_clients), scale.flash), "write"
+    if benchmark == "tiled":
+        return tiled_visualization(scale.tiled), "read"
+    raise ConfigError(f"unknown benchmark {benchmark!r}")
+
+
+def _plan(scenario: str, baseline: float, restart_after: float) -> FaultPlan:
+    """Fault schedule for one scenario, windows scaled to the baseline."""
+    T = baseline
+    if scenario == "crash":
+        return FaultPlan((IodCrash(iod=0, at=T / 3, restart_after=restart_after),))
+    if scenario == "disk-stall":
+        return FaultPlan((DiskStall(iod=0, at=T / 4, duration=T / 2, factor=20.0),))
+    if scenario == "flaky-net":
+        return FaultPlan(
+            (
+                PacketLoss(node="iod0", at=T / 6, duration=2 * T / 3, rate=0.05),
+                LinkDown(node="iod0", at=T / 3, duration=T / 6),
+            )
+        )
+    if scenario == "straggler":
+        return FaultPlan((Straggler(iod=0, scale=8.0),))
+    raise ConfigError(f"unknown scenario {scenario!r}")
+
+
+def _retry_policy(scenario: str, baseline: float) -> RetryPolicy:
+    if scenario == "straggler":
+        # A slow daemon still answers; no survival machinery needed.
+        return RetryPolicy()
+    # Generous enough that healthy requests never time out, tight enough
+    # that a dead daemon is noticed well before the run ends; the backoff
+    # cap keeps the post-restart reconnect sweep prompt.
+    return RetryPolicy(
+        request_timeout=max(0.1, baseline / 2),
+        max_retries=24,
+        backoff_base=0.02,
+        backoff_factor=2.0,
+        backoff_cap=0.5,
+        jitter=0.1,
+    )
+
+
+def _run_once(pattern, kind: str, cfg: ClusterConfig, trace: bool = False):
+    """One list-I/O run of the pattern; returns (cluster, WorkloadResult)."""
+    cluster = Cluster.build(cfg, move_bytes=False, trace=trace)
+    method = METHODS["list"]()
+
+    def workload(client):
+        access = pattern.rank(client.index)
+        f = yield from client.open("/chaos", create=True)
+        if kind == "read":
+            yield from method.read(f, None, access.mem_regions, access.file_regions)
+        else:
+            yield from method.write(f, None, access.mem_regions, access.file_regions)
+        yield from f.close()
+
+    result = cluster.run_workload(workload)
+    return cluster, result
+
+
+def run_scenario(
+    scenario: str,
+    benchmark: str = "artificial",
+    scale: Scale = SMOKE,
+    restart_after: float = 2.0,
+    trace: bool = False,
+) -> ChaosRow:
+    """Run one fault scenario against one benchmark; fully deterministic."""
+    pattern, kind = _pattern(benchmark, scale)
+    cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
+    _, base = _run_once(pattern, kind, cfg)
+    faults = FaultConfig(
+        plan=_plan(scenario, base.elapsed, restart_after),
+        retry=_retry_policy(scenario, base.elapsed),
+    )
+    cluster, res = _run_once(pattern, kind, cfg.with_(faults=faults), trace=trace)
+    counters = cluster.counters
+
+    def total(suffix: str) -> int:
+        return int(
+            sum(
+                v
+                for k, v in counters.items()
+                if k.startswith("client.") and k.endswith(suffix)
+            )
+        )
+
+    injector = cluster.fault_injector
+    recovery = None
+    if injector is not None:
+        times = [t for t in injector.recovery_times().values() if t is not None]
+        recovery = max(times) if times else None
+    return ChaosRow(
+        scenario=scenario,
+        benchmark=benchmark,
+        baseline_s=base.elapsed,
+        faulty_s=res.elapsed,
+        useful_bytes=pattern.total_bytes,
+        retries=total(".retries"),
+        timeouts=total(".timeouts"),
+        crashes=int(counters.get("faults.crashes", 0)),
+        recovery_s=recovery,
+        events=list(injector.events) if injector is not None else [],
+    )
+
+
+def rows_markdown(rows: List[ChaosRow]) -> str:
+    lines = [
+        "### chaos sweep",
+        "",
+        "| scenario | benchmark | baseline (s) | faulty (s) | slowdown "
+        "| goodput (MB/s) | retries | timeouts | crashes | recovery (s) |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        rec = f"{r.recovery_s:.3f}" if r.recovery_s is not None else "-"
+        lines.append(
+            f"| {r.scenario} | {r.benchmark} | {r.baseline_s:.4f} "
+            f"| {r.faulty_s:.4f} | {r.slowdown:.2f}x | {r.goodput_mb_s:.2f} "
+            f"| {r.retries} | {r.timeouts} | {r.crashes} | {rec} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def rows_csv(rows: List[ChaosRow]) -> str:
+    out = [
+        "scenario,benchmark,baseline_s,faulty_s,slowdown,goodput_mb_s,"
+        "retries,timeouts,crashes,recovery_s"
+    ]
+    for r in rows:
+        rec = f"{r.recovery_s:.6f}" if r.recovery_s is not None else ""
+        out.append(
+            f"{r.scenario},{r.benchmark},{r.baseline_s:.6f},{r.faulty_s:.6f},"
+            f"{r.slowdown:.4f},{r.goodput_mb_s:.4f},{r.retries},{r.timeouts},"
+            f"{r.crashes},{rec}"
+        )
+    return "\n".join(out) + "\n"
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="pvfs-sim chaos",
+        description="Run the paper's benchmarks under injected faults",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=SCENARIOS + ("all",),
+        default="all",
+        help="fault scenario (default: all)",
+    )
+    p.add_argument(
+        "--benchmark",
+        choices=BENCHMARKS,
+        default="artificial",
+        help="workload to stress (default: artificial)",
+    )
+    p.add_argument(
+        "--scale",
+        choices=sorted(name for name, s in SCALES.items() if s.des_friendly),
+        default="smoke",
+        help="parameter scale (default: smoke; chaos always uses the DES)",
+    )
+    p.add_argument(
+        "--restart-after",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="crash scenario: simulated seconds until the daemon restarts "
+        "(default: 2.0)",
+    )
+    p.add_argument("--csv", metavar="PATH", help="write raw rows as CSV")
+    p.add_argument(
+        "--events", action="store_true", help="print each run's fault event log"
+    )
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(sys.argv[1:] if argv is None else list(argv))
+    scale = SCALES[args.scale]
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    rows: List[ChaosRow] = []
+    for scenario in scenarios:
+        row = run_scenario(
+            scenario,
+            benchmark=args.benchmark,
+            scale=scale,
+            restart_after=args.restart_after,
+        )
+        rows.append(row)
+        if args.events and row.events:
+            print(f"-- {scenario} events --")
+            for t, what in row.events:
+                print(f"[{t:12.6f}] {what}")
+            print()
+    print(rows_markdown(rows))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(rows_csv(rows))
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -12,6 +12,15 @@
 ``des`` mode runs the discrete-event simulator (exact event accounting,
 use ``scaled``/``smoke``).
 
+Robustness (DES mode only): ``--straggler IDX:SCALE`` degrades one I/O
+daemon for a whole figure run, and the ``chaos`` subcommand replays the
+paper's benchmarks under injected faults (daemon crash + restart, disk
+stalls, flaky networking) with client timeouts and retries — see
+``docs/faults.md``::
+
+    pvfs-sim chaos --scenario crash --benchmark artificial --scale smoke
+    pvfs-sim --figure 9 --scale smoke --mode des --straggler 0:8
+
 Observability (DES mode only): ``--trace-out FILE.json`` captures every
 simulated run and writes the longest one as a Perfetto-loadable trace
 (open it at ``ui.perfetto.dev``); ``--report`` prints the bottleneck
@@ -86,13 +95,22 @@ def _parser() -> argparse.ArgumentParser:
         help="print bottleneck attribution for the longest simulated run "
         "(DES mode only)",
     )
+    p.add_argument(
+        "--straggler",
+        action="append",
+        metavar="IDX:SCALE",
+        help="run with I/O daemon IDX serving SCALE times slower "
+        "(repeatable; DES mode only; e.g. --straggler 0:8)",
+    )
     return p
 
 
-def _run_one(fig: str, scale_name: str, mode: str, obs=None) -> FigureResult:
+def _run_one(
+    fig: str, scale_name: str, mode: str, obs=None, faults=None
+) -> FigureResult:
     scale = SCALES[scale_name]
     driver = FIGURES[fig]
-    return driver(scale=scale, mode=mode, obs=obs)
+    return driver(scale=scale, mode=mode, obs=obs, faults=faults)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -102,6 +120,11 @@ def main(argv: List[str] | None = None) -> int:
         from ..obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # `pvfs-sim chaos ...` — benchmarks under injected faults.
+        from .chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     args = _parser().parse_args(argv)
     scale = SCALES[args.scale]
     mode = args.mode or ("model" if not scale.des_friendly else "des")
@@ -132,11 +155,29 @@ def main(argv: List[str] | None = None) -> int:
         from ..obs import ObsSession
 
         obs = ObsSession()
+    faults = None
+    if args.straggler:
+        if mode != "des":
+            print(
+                "error: --straggler needs the discrete-event simulator; "
+                "add --mode des (and a des-friendly --scale)",
+                file=sys.stderr,
+            )
+            return 2
+        from ..errors import ConfigError
+        from ..faults import FaultConfig, FaultPlan, parse_straggler_spec
+
+        try:
+            stragglers = tuple(parse_straggler_spec(s) for s in args.straggler)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        faults = FaultConfig(plan=FaultPlan(stragglers))
     figures = sorted(FIGURES, key=int) if args.all else [args.figure]
     all_points = []
     failed = False
     for fig in figures:
-        result = _run_one(fig, args.scale, mode, obs=obs)
+        result = _run_one(fig, args.scale, mode, obs=obs, faults=faults)
         print(result.markdown())
         if args.plot:
             from .plot import render_figure

@@ -91,6 +91,7 @@ def figure18(
     mode: str = "des",
     clients: Optional[Sequence[int]] = None,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     """Extension: MPI-IO over the paper's list I/O, FLASH-shaped writes.
 
@@ -106,6 +107,8 @@ def figure18(
     for n in clients:
         pattern = flash_io(n, scale.flash)
         cfg = ClusterConfig.chiba_city(n_clients=n)
+        if faults is not None:
+            cfg = cfg.with_(faults=faults)
         for method in ("multiple", "list"):
             points.append(
                 des_point(pattern, method, "write", cfg, figure="fig18", x=n, obs=obs)

@@ -38,6 +38,7 @@ def figure15(
     methods: Sequence[str] = _METHODS,
     include_text_accounting: bool = False,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     """Regenerate Figure 15.
 
@@ -54,6 +55,8 @@ def figure15(
     for n in clients:
         pattern = flash_io(n, scale.flash)
         cfg = ClusterConfig.chiba_city(n_clients=n)
+        if faults is not None and mode != "model":
+            cfg = cfg.with_(faults=faults)
         for method in methods:
             points.append(
                 run(pattern, method, "write", cfg, figure="fig15", x=n, **extra)

@@ -31,9 +31,12 @@ def figure17(
     mode: str = "des",
     methods: Sequence[str] = _METHODS,
     obs=None,
+    faults=None,
 ) -> FigureResult:
     pattern = tiled_visualization(scale.tiled)
     cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
+    if faults is not None and mode == "des":
+        cfg = cfg.with_(faults=faults)
     points: List[DataPoint] = []
     for method in methods:
         if mode == "des":

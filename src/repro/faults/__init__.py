@@ -1,0 +1,42 @@
+"""Deterministic fault injection and recovery for the simulated PVFS.
+
+The paper's PVFS has no fault tolerance — "if an I/O server goes down, the
+file system hangs with it."  This package adds what 2002-era PVFS lacked,
+as a seeded, replayable subsystem:
+
+* :mod:`~repro.faults.plan` — declarative fault records
+  (:class:`IodCrash`, :class:`DiskStall`, :class:`LinkDown`,
+  :class:`PacketLoss`, :class:`Straggler`), the :class:`FaultPlan`
+  schedule, the client :class:`RetryPolicy`, and the :class:`FaultConfig`
+  carried by :class:`~repro.config.ClusterConfig`;
+* :mod:`~repro.faults.injector` — the :class:`FaultInjector` DES processes
+  that execute a plan against a built cluster.
+
+See ``docs/faults.md`` for the fault model and the ``chaos`` CLI.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    DiskStall,
+    FaultConfig,
+    FaultPlan,
+    IodCrash,
+    LinkDown,
+    PacketLoss,
+    RetryPolicy,
+    Straggler,
+    parse_straggler_spec,
+)
+
+__all__ = [
+    "DiskStall",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "IodCrash",
+    "LinkDown",
+    "PacketLoss",
+    "RetryPolicy",
+    "Straggler",
+    "parse_straggler_spec",
+]

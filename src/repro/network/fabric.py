@@ -72,6 +72,14 @@ class Network:
         #: ``net.xfer`` (time occupying the wire) spans.
         self.tracer = tracer
         self._nodes: Dict[str, Node] = {}
+        # -- fault state (driven by repro.faults.FaultInjector) -----------
+        #: node name -> simulated time its link comes back up.  Transfers
+        #: touching a down node stall until then (TCP riding out a flap),
+        #: then pay one ``retransmit_timeout`` reconnect delay.
+        self._down_until: Dict[str, float] = {}
+        #: node name -> per-frame loss probability during an active window.
+        self._frame_loss: Dict[str, float] = {}
+        self._loss_rng = None
 
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> Node:
@@ -96,6 +104,82 @@ class Network:
         return list(self._nodes.values())
 
     # ------------------------------------------------------------------
+    # Fault injection hooks (see repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def set_link_down(self, node_name: str, until: float) -> None:
+        """Take ``node_name``'s link down until simulated time ``until``."""
+        if node_name not in self._nodes:
+            raise NetworkError(f"unknown node {node_name!r}")
+        self._down_until[node_name] = max(
+            until, self._down_until.get(node_name, 0.0)
+        )
+
+    def link_down_until(self, node_name: str) -> float:
+        """When the node's link comes back (<= now means it is up)."""
+        return self._down_until.get(node_name, 0.0)
+
+    def set_frame_loss(self, node_name: str, rate: float, rng) -> None:
+        """Drop each frame touching ``node_name`` with probability ``rate``
+        (``rng`` supplies the seeded draws) until :meth:`clear_frame_loss`."""
+        if node_name not in self._nodes:
+            raise NetworkError(f"unknown node {node_name!r}")
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"frame loss rate {rate} not in [0, 1)")
+        self._frame_loss[node_name] = rate
+        self._loss_rng = rng
+
+    def clear_frame_loss(self, node_name: str) -> None:
+        self._frame_loss.pop(node_name, None)
+
+    def _await_links(self, src: Node, dst: Node, tracing: bool):
+        """Stall while either endpoint's link is down, then pay the
+        reconnect delay (simulation process; no-op when both links are up)."""
+        sim = self.sim
+        t_block = sim.now
+        stalled = False
+        while True:
+            until = max(
+                self._down_until.get(src.name, 0.0),
+                self._down_until.get(dst.name, 0.0),
+            )
+            if until <= sim.now:
+                break
+            stalled = True
+            yield sim.timeout(until - sim.now)
+        if stalled:
+            yield sim.timeout(self.cfg.retransmit_timeout)
+            self.counters.add("net.link_stalls")
+            if tracing:
+                self.tracer.record(
+                    "net.link_stall",
+                    f"{src.name}->{dst.name}",
+                    t_block,
+                    sim.now,
+                    src=src.name,
+                    dst=dst.name,
+                )
+
+    def _loss_penalty(self, src: Node, dst: Node, payload: int) -> float:
+        """Extra wire time for frames lost to an active packet-loss window:
+        one retransmission timeout plus one full-frame retransmission per
+        lost frame (each frame is lost at most once — TCP's exponential
+        backoff makes repeated loss of the same segment negligible at the
+        modeled rates)."""
+        rate = max(
+            self._frame_loss.get(src.name, 0.0),
+            self._frame_loss.get(dst.name, 0.0),
+        )
+        if rate <= 0.0 or self._loss_rng is None:
+            return 0.0
+        frames = self.cfg.frames_for(payload)
+        lost = int(self._loss_rng.binomial(frames, rate))
+        if lost == 0:
+            return 0.0
+        self.counters.add("net.frames_lost", lost)
+        frame_wire = self.cfg.mtu + self.cfg.frame_overhead
+        return lost * (self.cfg.retransmit_timeout + frame_wire / self.cfg.bandwidth)
+
+    # ------------------------------------------------------------------
     def transfer(self, src: Node, dst: Node, payload: int) -> Generator:
         """Simulation process moving ``payload`` bytes from ``src`` to
         ``dst``.  Use as ``yield from net.transfer(a, b, n)`` inside a
@@ -115,6 +199,10 @@ class Network:
         duration = self.cfg.latency + self.cfg.transmit_time(payload)
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
+        if self._down_until:
+            yield from self._await_links(src, dst, tracing)
+        if self._frame_loss:
+            duration += self._loss_penalty(src, dst, payload)
         t_req = sim.now if tracing else 0.0
         with src.tx.request() as t:
             yield t

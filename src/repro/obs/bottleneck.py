@@ -22,7 +22,7 @@ classifies the run (``disk-bound`` / ``nic-bound`` / ``cpu-bound`` /
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Tuple
 
 from .monitor import ResourceMonitor
@@ -66,6 +66,10 @@ class BottleneckReport:
     queues: List[QueueStat]
     idle_share: float
     verdict: str
+    #: Fault-window and retry span stats (category -> {count, total, ...}),
+    #: filled by :meth:`RunCapture.report` when the run had fault activity
+    #: (see :mod:`repro.faults`); empty on healthy runs.
+    faults: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def window(self) -> float:
@@ -82,6 +86,7 @@ class BottleneckReport:
             "idle_share": self.idle_share,
             "resources": [asdict(r) for r in self.resources],
             "queues": [asdict(q) for q in self.queues],
+            "faults": self.faults,
         }
 
     def to_markdown(self, top: int = 8) -> str:
@@ -107,6 +112,15 @@ class BottleneckReport:
                 lines.append(
                     f"| {q.name} | {q.mean_depth:.2f} | {q.p95_depth:.0f} "
                     f"| {q.max_depth:.0f} |"
+                )
+        if self.faults:
+            lines.append("")
+            lines.append("| fault / retry activity | count | total (s) |")
+            lines.append("|---|---|---|")
+            for cat in sorted(self.faults):
+                s = self.faults[cat]
+                lines.append(
+                    f"| {cat} | {int(s.get('count', 0))} | {s.get('total', 0.0):.6f} |"
                 )
         lines.append("")
         lines.append(f"**verdict: {self.verdict}**")

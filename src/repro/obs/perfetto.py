@@ -30,7 +30,7 @@ __all__ = ["build_trace", "write_trace", "TRACE_VERSION"]
 TRACE_VERSION = 1
 
 #: Thread ordering inside one process (lower = higher in the UI).
-_TID_ORDER = ("requests", "service", "disk", "queue wait", "nic.tx", "nic.rx")
+_TID_ORDER = ("requests", "service", "disk", "queue wait", "nic.tx", "nic.rx", "faults")
 
 
 class _Lanes:
@@ -132,6 +132,17 @@ def _span_lane(span) -> Optional[Tuple[str, str]]:
         return meta.get("src", span.label), "nic.tx"
     if cat == "net.wait":
         return meta.get("src", span.label), "nic.tx"
+    # Fault-injection windows and the client's survival actions (see
+    # repro.faults): each lands on a "faults" lane of the affected node so
+    # a crash window lines up visually with the retries it caused.
+    if cat in ("fault.crash", "fault.disk_stall"):
+        return f"iod{meta.get('iod', 0)}", "faults"
+    if cat in ("fault.link_down", "fault.packet_loss"):
+        return meta.get("node", span.label), "faults"
+    if cat in ("client.timeout", "client.retry_backoff"):
+        return f"client{meta.get('client', 0)}", "faults"
+    if cat == "net.link_stall":
+        return meta.get("src", span.label), "faults"
     return None
 
 

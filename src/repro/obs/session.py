@@ -47,8 +47,24 @@ class RunCapture:
     def elapsed(self) -> float:
         return self.t1 - self.t0
 
+    _FAULT_CATEGORIES = (
+        "fault.crash",
+        "fault.disk_stall",
+        "fault.link_down",
+        "fault.packet_loss",
+        "client.timeout",
+        "client.retry_backoff",
+        "net.link_stall",
+    )
+
     def report(self) -> BottleneckReport:
-        return attribute(self.monitors, self.t0, self.t1, label=self.label)
+        report = attribute(self.monitors, self.t0, self.t1, label=self.label)
+        report.faults = {
+            cat: stats
+            for cat, stats in self.summary.items()
+            if cat in self._FAULT_CATEGORIES
+        }
+        return report
 
     def __repr__(self) -> str:
         return (

@@ -25,11 +25,12 @@ requests (what the paper's request-count formulas predict);
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 import numpy as np
 
-from ..errors import FileNotOpenError, PVFSError
+from ..errors import FaultError, FileNotOpenError, PVFSError, RetryExhausted, TimeoutError
 from ..regions import RegionList
 from ..simulate import Event
 from .protocol import IORequest, ManagerRequest
@@ -297,6 +298,15 @@ class PVFSClient:
         self.list_io_max_regions = cluster.config.list_io_max_regions
         self.move_bytes = cluster.move_bytes
         self.scope = cluster.counters.scoped(f"client.{index}")
+        #: Retry policy from ``ClusterConfig.faults`` (inert by default, in
+        #: which case ``_send`` takes a fast path identical to the
+        #: robustness-free client and runs stay bit-identical to the seed).
+        self.retry = cluster.config.faults.retry
+        self._retry_rng = (
+            np.random.default_rng(cluster.config.seed * 6151 + 7 * index + 3)
+            if self.retry.active and self.retry.jitter > 0.0
+            else None
+        )
         #: Optional observability hook with ``on_busy(t)`` / ``on_idle(t)``
         #: marking the window of each logical request; None = untraced.
         self.monitor = None
@@ -335,13 +345,111 @@ class PVFSClient:
         return result
 
     def _send(self, req: IORequest, server: int):
-        """Deliver one request to one iod and await its response."""
+        """Deliver one request to one iod and await its response.
+
+        With an inert :class:`~repro.faults.RetryPolicy` (the default) this
+        is a bare send-and-wait.  With an active policy each attempt races a
+        per-request deadline; failed or timed-out attempts back off
+        exponentially (seeded jitter) and replay with the *same*
+        ``request_id`` and payload — idempotent by construction, since a
+        write replay rewrites identical bytes to identical regions — until
+        the retry budget runs out and :class:`~repro.errors.RetryExhausted`
+        surfaces to the application.
+        """
+        if not self.retry.active:
+            iod = self.cluster.iods[server]
+            yield from self.cluster.net.transfer(self.node, iod.node, req.wire_bytes)
+            iod.deliver(req)
+            result = yield req.response
+            return result
+        result = yield from self._send_with_retries(req, server)
+        return result
+
+    def _attempt(self, req: IORequest, server: int):
+        """One delivery attempt (simulation process raced against the
+        deadline by :meth:`_send_with_retries`)."""
         iod = self.cluster.iods[server]
         yield from self.cluster.net.transfer(self.node, iod.node, req.wire_bytes)
-        req.enqueued_at = self.sim.now
-        iod.inbox.put(req)
+        iod.deliver(req)
         result = yield req.response
         return result
+
+    def _send_with_retries(self, req: IORequest, server: int):
+        sim = self.sim
+        policy = self.retry
+        tracer = self.cluster.tracer
+        last_error: Optional[BaseException] = None
+        for attempt in range(policy.max_retries + 1):
+            # Replays get a fresh response event but keep request_id, kind,
+            # regions, and payload — the daemon-side effect is idempotent.
+            attempt_req = (
+                req
+                if attempt == 0
+                else replace(req, response=Event(sim), enqueued_at=None)
+            )
+            proc = sim.process(
+                self._attempt(attempt_req, server),
+                name=f"client{self.index}.attempt",
+            )
+            # An abandoned attempt may fail *after* its deadline fired (same
+            # timestamp, later heap sequence) with nothing left waiting on
+            # it; self-defuse so the kernel never escalates it.
+            proc.callbacks.append(lambda ev: ev.defuse() if not ev.ok else None)
+            t0 = sim.now
+            try:
+                yield sim.any_of([proc, sim.timeout(policy.request_timeout)])
+                if proc.triggered and proc.ok:
+                    return proc.value
+                if proc.triggered:
+                    # Failed in the same timestep the deadline fired.
+                    exc = proc.value
+                    if not isinstance(exc, FaultError):
+                        raise exc
+                    last_error = exc
+                else:
+                    # Deadline won the race: abandon the in-flight attempt.
+                    proc.interrupt("timeout")
+                    last_error = TimeoutError(
+                        f"request {req.request_id} to iod{server} timed out "
+                        f"after {policy.request_timeout} s "
+                        f"(attempt {attempt + 1})"
+                    )
+                    self.scope.add("timeouts")
+                    if tracer is not None and tracer.enabled:
+                        tracer.record(
+                            "client.timeout",
+                            f"iod{server}",
+                            t0,
+                            sim.now,
+                            client=self.index,
+                            server=server,
+                            attempt=attempt,
+                        )
+            except FaultError as exc:
+                last_error = exc
+            if attempt >= policy.max_retries:
+                break
+            delay = policy.backoff(attempt, self._retry_rng)
+            self.scope.add("retries")
+            t_backoff = sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            if tracer is not None and tracer.enabled:
+                tracer.record(
+                    "client.retry_backoff",
+                    f"iod{server}",
+                    t_backoff,
+                    sim.now,
+                    client=self.index,
+                    server=server,
+                    attempt=attempt,
+                )
+        raise RetryExhausted(
+            f"request {req.request_id} to iod{server} failed after "
+            f"{policy.max_retries + 1} attempt(s): {last_error}",
+            attempts=policy.max_retries + 1,
+            last_error=last_error,
+        )
 
     def __repr__(self) -> str:
         return f"<PVFSClient {self.index}>"

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import ClusterConfig
 from ..errors import ConfigError
+from ..faults import FaultInjector
 from ..network import Network
 from ..simulate import Counters, Simulator, Tracer
 from ..storage import ByteStore, Disk, NullByteStore
@@ -120,6 +121,18 @@ class Cluster:
         self.clients: List[PVFSClient] = [
             PVFSClient(self, i, node) for i, node in enumerate(client_nodes)
         ]
+
+        # --- faults ------------------------------------------------------
+        plan = config.faults.plan
+        plan.validate_against(config.n_iods, [n.name for n in self.net.nodes()])
+        for s in plan.stragglers():
+            self.iods[s.iod].service_scale = s.scale
+        #: The running :class:`~repro.faults.FaultInjector`, or ``None``
+        #: when the plan schedules nothing (so fault-free clusters carry no
+        #: extra simulation processes and stay bit-identical to the seed).
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self, plan) if plan.scheduled() else None
+        )
 
     # ----------------------------------------------------------------
     @classmethod

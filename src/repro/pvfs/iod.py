@@ -11,18 +11,32 @@ This is where the multiple-I/O pathology lives: every contiguous request
 pays ``iod_request_cost`` and (for writes) ``iod_write_commit_cost``, so a
 noncontiguous access issued as N tiny requests costs N times the fixed
 overheads, while a list request amortizes them over up to 64 regions.
+
+Crash/recovery semantics (the robustness extension — the paper's PVFS has
+none: "if an I/O server goes down, the file system hangs with it"):
+
+* :meth:`crash` kills the daemon mid-flight: the service loop stops, the
+  request currently in service and everything queued in the inbox fail with
+  :class:`~repro.errors.ServerCrashed`, and in-flight response
+  transmissions are aborted.  Requests delivered while down are refused
+  immediately (a connection reset).
+* :meth:`restart` brings it back with a **cold page cache**; file contents
+  are re-served from the byte store, which holds every acknowledged write
+  (the ack is only sent after the store is updated), so durability matches
+  a local fs whose write(2) returned.  Unacknowledged writes rely on
+  idempotent client replay.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import CostModel
-from ..errors import ProtocolError
+from ..errors import ServerCrashed
 from ..network import Network, Node
-from ..simulate import Counters, Simulator, Store
+from ..simulate import Counters, Interrupt, Process, Simulator, Store
 from ..storage import ByteStore, Disk
 from .protocol import IORequest
 
@@ -58,6 +72,7 @@ class IOD:
         self.tracer = tracer
         self._rng = np.random.default_rng(seed * 1009 + index) if costs.jitter else None
         self.inbox: Store = Store(sim, name=f"iod{index}.inbox")
+        self.scope = self.counters.scoped(f"iod.{index}")
         self.requests_served = 0
         self.regions_served = 0
         self.busy_time = 0.0
@@ -66,9 +81,20 @@ class IOD:
         self.monitor = None
         #: Service-time multiplier for fault/straggler injection: 1.0 is a
         #: healthy daemon; 4.0 models a degraded node (failing disk,
-        #: swapping, cpu contention).  May be changed between workloads.
+        #: swapping, cpu contention).  May be changed between workloads, or
+        #: declaratively via :class:`repro.faults.Straggler`.
         self.service_scale = 1.0
-        sim.process(self._run(), name=f"iod{index}")
+        # -- crash/recovery state ---------------------------------------
+        self.alive = True
+        self.crashes = 0
+        self.crashed_at: Optional[float] = None
+        self.restarted_at: Optional[float] = None
+        #: Completion time of the first request served after the most
+        #: recent restart (recovery-time accounting); None until then.
+        self.first_service_after_restart: Optional[float] = None
+        self._current: Optional[IORequest] = None
+        self._inflight_responses: List[Tuple[Process, IORequest]] = []
+        self._proc: Process = sim.process(self._run(), name=f"iod{index}")
 
     def _scale(self) -> float:
         """Per-request service multiplier: straggler scale x jitter draw."""
@@ -78,82 +104,157 @@ class IOD:
         return s
 
     # ------------------------------------------------------------------
+    # Request delivery and crash/recovery
+    # ------------------------------------------------------------------
+    def deliver(self, req: IORequest) -> None:
+        """Hand one request to this daemon (clients call this after the
+        request's network transfer).  A dead daemon refuses immediately —
+        the connection-reset a 2002 TCP client would see."""
+        if not self.alive:
+            self._refuse(req)
+            return
+        req.enqueued_at = self.sim.now
+        self.inbox.put(req)
+
+    def _refuse(self, req: IORequest) -> None:
+        """Fail a request's response with ServerCrashed (pre-defused so an
+        abandoned, already-timed-out request cannot crash the kernel)."""
+        if not req.response.triggered:
+            req.response.fail(
+                ServerCrashed(f"iod{self.index} is down (request {req.request_id})")
+            )
+            req.response.defuse()
+
+    def crash(self) -> None:
+        """Kill the daemon at the current simulated time (idempotent)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.crashed_at = self.sim.now
+        self.first_service_after_restart = None
+        self.scope.add("crashes")
+        if self._proc.is_alive:
+            self._proc.interrupt("crash")
+        current, self._current = self._current, None
+        if current is not None:
+            self._refuse(current)
+        for req in self.inbox.drain():
+            self._refuse(req)
+        inflight, self._inflight_responses = self._inflight_responses, []
+        for proc, req in inflight:
+            if proc.is_alive:
+                proc.interrupt("crash")
+            self._refuse(req)
+
+    def restart(self) -> None:
+        """Boot a fresh daemon process on the same node: cold page cache,
+        contents re-served from the (durable) byte store."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarted_at = self.sim.now
+        self.disk.drop_cache()
+        # Fresh inbox (a rebooted daemon listens on a fresh socket): the
+        # crashed service loop's pending get() would otherwise still be
+        # queued as a getter and swallow the first delivered request.
+        old = self.inbox
+        self.inbox = Store(self.sim, name=old.name)
+        self.inbox.monitor = old.monitor
+        self.inbox.total_put = old.total_put
+        self.scope.add("restarts")
+        self._proc = self.sim.process(self._run(), name=f"iod{self.index}")
+
+    def recovery_time(self) -> Optional[float]:
+        """Seconds from the most recent crash until the restarted daemon
+        completed its first request; None until that happened."""
+        if self.crashed_at is None or self.first_service_after_restart is None:
+            return None
+        return self.first_service_after_restart - self.crashed_at
+
+    # ------------------------------------------------------------------
     def _run(self):
         sim = self.sim
+        try:
+            while True:
+                req: IORequest = yield self.inbox.get()
+                self._current = req
+                yield from self._service(req)
+                self._current = None
+        except Interrupt:
+            return  # crashed: the service loop dies; restart() boots a new one
+
+    def _service(self, req: IORequest):
+        sim = self.sim
         costs = self.costs
-        scope = self.counters.scoped(f"iod.{self.index}")
-        while True:
-            req: IORequest = yield self.inbox.get()
-            started = sim.now
-            n = req.n_described
-            scale = self._scale()
-            # Request parsing + trailing-data decode.
-            yield sim.timeout(
-                (costs.iod_request_cost + costs.iod_region_cost * n) * scale
-            )
-            if req.kind == "fsync":
-                # Flush this disk's dirty pages to media before acking.
-                flush_t = self.disk.flush_time() * scale
-                if flush_t > 0:
-                    t_disk = sim.now
-                    yield sim.timeout(flush_t)
-                    self._note_disk(t_disk, sim.now, "flush", 0)
-                scope.add("fsyncs")
-                self.sim.process(
-                    self._respond(req, True), name=f"iod{self.index}.respond"
-                )
-            elif req.kind == "read":
-                disk_t = self.disk.read_time(req.file_id, req.regions) * scale
-                if disk_t > 0:
-                    t_disk = sim.now
-                    yield sim.timeout(disk_t)
-                    self._note_disk(t_disk, sim.now, "read", req.regions.total_bytes)
-                data = self.store.read(req.file_id, req.regions) if self.move_bytes else None
-                scope.add("read_requests")
-                scope.add("read_bytes", req.regions.total_bytes)
-                self.sim.process(
-                    self._respond(req, data), name=f"iod{self.index}.respond"
-                )
-            else:  # write
-                disk_t = self.disk.write_time(req.file_id, req.regions)
-                disk_t += costs.iod_write_commit_cost
-                if self.disk.cache.cfg.write_through:
-                    # Synchronous small overwrites pay a read-modify-write of
-                    # the enclosing page (see CostModel.small_write_penalty).
-                    runs = req.regions.coalesced()
-                    n_small = int((runs.lengths < costs.small_write_threshold).sum())
-                    disk_t += n_small * costs.small_write_penalty
+        scope = self.scope
+        started = sim.now
+        n = req.n_described
+        scale = self._scale()
+        # Request parsing + trailing-data decode.
+        yield sim.timeout(
+            (costs.iod_request_cost + costs.iod_region_cost * n) * scale
+        )
+        if req.kind == "fsync":
+            # Flush this disk's dirty pages to media before acking.
+            flush_t = self.disk.flush_time() * scale * self.disk.fault_scale
+            if flush_t > 0:
                 t_disk = sim.now
-                yield sim.timeout(disk_t * scale)
-                self._note_disk(t_disk, sim.now, "write", req.regions.total_bytes)
-                if self.move_bytes and req.data is not None:
-                    self.store.write(req.file_id, req.regions, req.data)
-                scope.add("write_requests")
-                scope.add("write_bytes", req.regions.total_bytes)
-                self.sim.process(
-                    self._respond(req, True), name=f"iod{self.index}.respond"
-                )
-            self.requests_served += 1
-            self.regions_served += n
-            self.busy_time += sim.now - started
-            if self.monitor is not None:
-                self.monitor.on_busy(started)
-                self.monitor.on_idle(sim.now)
-            scope.add("regions", n)
-            if self.tracer is not None and self.tracer.enabled:
-                if req.enqueued_at is not None:
-                    self.tracer.record(
-                        "iod.queue_wait", f"iod{self.index}", req.enqueued_at, started
-                    )
+                yield sim.timeout(flush_t)
+                self._note_disk(t_disk, sim.now, "flush", 0)
+            scope.add("fsyncs")
+            self._spawn_response(req, True)
+        elif req.kind == "read":
+            disk_t = self.disk.read_time(req.file_id, req.regions) * scale
+            disk_t *= self.disk.fault_scale
+            if disk_t > 0:
+                t_disk = sim.now
+                yield sim.timeout(disk_t)
+                self._note_disk(t_disk, sim.now, "read", req.regions.total_bytes)
+            data = self.store.read(req.file_id, req.regions) if self.move_bytes else None
+            scope.add("read_requests")
+            scope.add("read_bytes", req.regions.total_bytes)
+            self._spawn_response(req, data)
+        else:  # write
+            disk_t = self.disk.write_time(req.file_id, req.regions)
+            disk_t += costs.iod_write_commit_cost
+            if self.disk.cache.cfg.write_through:
+                # Synchronous small overwrites pay a read-modify-write of
+                # the enclosing page (see CostModel.small_write_penalty).
+                runs = req.regions.coalesced()
+                n_small = int((runs.lengths < costs.small_write_threshold).sum())
+                disk_t += n_small * costs.small_write_penalty
+            t_disk = sim.now
+            yield sim.timeout(disk_t * scale * self.disk.fault_scale)
+            self._note_disk(t_disk, sim.now, "write", req.regions.total_bytes)
+            if self.move_bytes and req.data is not None:
+                self.store.write(req.file_id, req.regions, req.data)
+            scope.add("write_requests")
+            scope.add("write_bytes", req.regions.total_bytes)
+            self._spawn_response(req, True)
+        self.requests_served += 1
+        self.regions_served += n
+        self.busy_time += sim.now - started
+        if self.restarted_at is not None and self.first_service_after_restart is None:
+            self.first_service_after_restart = sim.now
+        if self.monitor is not None:
+            self.monitor.on_busy(started)
+            self.monitor.on_idle(sim.now)
+        scope.add("regions", n)
+        if self.tracer is not None and self.tracer.enabled:
+            if req.enqueued_at is not None:
                 self.tracer.record(
-                    "iod.service",
-                    req.kind,
-                    started,
-                    sim.now,
-                    iod=self.index,
-                    regions=n,
-                    nbytes=req.regions.total_bytes,
+                    "iod.queue_wait", f"iod{self.index}", req.enqueued_at, started
                 )
+            self.tracer.record(
+                "iod.service",
+                req.kind,
+                started,
+                sim.now,
+                iod=self.index,
+                regions=n,
+                nbytes=req.regions.total_bytes,
+            )
 
     def _note_disk(self, start: float, end: float, kind: str, nbytes: int) -> None:
         """Account one disk access window (utilization + optional span)."""
@@ -165,9 +266,31 @@ class IOD:
                 "disk.busy", kind, start, end, iod=self.index, nbytes=nbytes
             )
 
+    def _spawn_response(self, req: IORequest, payload) -> None:
+        """Hand the response to the async sender, tracked so a crash can
+        abort it mid-transmission."""
+        proc = self.sim.process(
+            self._respond(req, payload), name=f"iod{self.index}.respond"
+        )
+        entry = (proc, req)
+        self._inflight_responses.append(entry)
+
+        def _done(_ev) -> None:
+            try:
+                self._inflight_responses.remove(entry)
+            except ValueError:
+                pass  # already cleared by crash()
+
+        proc.callbacks.append(_done)
+
     def _respond(self, req: IORequest, payload):
-        yield from self.net.transfer(self.node, req.client_node, req.response_bytes)
-        req.response.succeed(payload)
+        try:
+            yield from self.net.transfer(self.node, req.client_node, req.response_bytes)
+        except Interrupt:
+            return  # crash aborted the transmission; crash() fails the response
+        if not req.response.triggered:
+            req.response.succeed(payload)
 
     def __repr__(self) -> str:
-        return f"<IOD {self.index} served={self.requests_served}>"
+        state = "up" if self.alive else "down"
+        return f"<IOD {self.index} {state} served={self.requests_served}>"

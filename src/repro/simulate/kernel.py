@@ -71,15 +71,31 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
-        if self._waiting_on is not None:
-            try:
-                self._waiting_on.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-            self._waiting_on = None
+        self._detach_from_waited_event()
         kick = Event(self.sim)
-        kick.callbacks.append(lambda ev: self._step(Interrupt(cause), throw=True))
+        kick.callbacks.append(lambda ev: self._deliver_interrupt(cause))
         kick.succeed()
+
+    def _detach_from_waited_event(self) -> None:
+        try:
+            if self._waiting_on is not None:
+                self._waiting_on.callbacks.remove(self._resume)
+        except ValueError:
+            # The event's callback list was already extracted for execution
+            # (it fires at this very timestamp): the normal resume may still
+            # be delivered before the interrupt — _deliver_interrupt guards
+            # against resuming a process that finished in between.
+            pass
+        self._waiting_on = None
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if self.triggered:
+            # The process was resumed by an event scheduled at this same
+            # timestamp and already ran to completion — throwing into the
+            # exhausted generator would double-resume it.
+            return
+        self._detach_from_waited_event()
+        self._step(Interrupt(cause), throw=True)
 
     # -- execution ------------------------------------------------------
     def _resume(self, ev: Event) -> None:

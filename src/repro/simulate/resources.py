@@ -200,6 +200,16 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item (a crashing daemon dropping
+        its inbox).  Waiting getters are left pending — the owner decides
+        whether to terminate or keep them."""
+        items = list(self._items)
+        self._items.clear()
+        if items and self.monitor is not None:
+            self.monitor.on_queue(self.sim.now, 0)
+        return items
+
     def __repr__(self) -> str:
         return f"<Store {self.name or hex(id(self))} items={len(self._items)} waiters={len(self._getters)}>"
 

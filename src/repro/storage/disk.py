@@ -54,6 +54,21 @@ class Disk:
         #: Optional observability hook with ``on_busy(t)`` / ``on_idle(t)``
         #: (see :mod:`repro.obs.monitor`); None = untraced, free.
         self.monitor = None
+        #: Fault-injection service-time multiplier (see
+        #: :class:`repro.faults.DiskStall`): 1.0 = healthy; the I/O daemon
+        #: multiplies every disk access by this while a stall window is open.
+        self.fault_scale = 1.0
+
+    # ------------------------------------------------------------------
+    def drop_cache(self) -> None:
+        """Forget every cached page and the head position — the cold state
+        an I/O daemon restarts into after a crash.  Dirty pages are lost
+        without write-back (their data either reached the byte store before
+        the ack, or the client never got an ack and will replay)."""
+        stats = self.cache.stats
+        self.cache = BlockCache(self.cache.cfg)
+        self.cache.stats = stats  # keep cumulative hit/miss accounting
+        self._head = None
 
     # ------------------------------------------------------------------
     def note_busy(self, start: float, end: float) -> None:

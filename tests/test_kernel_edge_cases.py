@@ -195,3 +195,61 @@ class TestStoreEdgeCases:
         sim.run()
         assert a.value == "timed out"
         assert b.value == "thing"
+
+
+class TestInterruptSameTimestampResume:
+    """Regression tests: interrupting a process at the exact timestamp its
+    awaited event fires must neither double-resume it nor lose the
+    interrupt.  (The iod crash path interrupts daemons from a callback of
+    an event they may simultaneously be resumed by.)"""
+
+    def test_interrupt_after_victim_already_resumed_is_dropped(self):
+        """The victim's resume callback runs first in the same extraction
+        batch and the victim *finishes*; the queued interrupt must then be
+        discarded instead of resuming a finished generator."""
+        sim = Simulator()
+        trigger = sim.timeout(1.0, value="payload")
+        results = []
+
+        def interrupter(sim):
+            yield trigger  # registered first -> resumed first
+            if victim.is_alive:
+                victim.interrupt("race")
+            return "meddled"
+
+        def victim_fn(sim):
+            val = yield trigger
+            results.append((val, sim.now))
+            return val
+
+        meddler = sim.process(interrupter(sim))
+        victim = sim.process(victim_fn(sim))
+        sim.run()
+        assert results == [("payload", 1.0)]
+        assert victim.value == "payload"
+        assert meddler.value == "meddled"
+
+    def test_interrupt_still_lands_when_victim_moved_on(self):
+        """Same race, but the victim yields a *new* event after the shared
+        trigger; the interrupt must still be delivered to it."""
+        sim = Simulator()
+        trigger = sim.timeout(1.0, value="go")
+        results = []
+
+        def interrupter(sim):
+            yield trigger
+            victim.interrupt("late hit")
+
+        def victim_fn(sim):
+            yield trigger
+            try:
+                yield sim.timeout(50.0)
+            except Interrupt as exc:
+                results.append((exc.cause, sim.now))
+                return "interrupted"
+
+        sim.process(interrupter(sim))
+        victim = sim.process(victim_fn(sim))
+        sim.run()
+        assert results == [("late hit", 1.0)]
+        assert victim.value == "interrupted"

@@ -354,3 +354,59 @@ class TestMethodEquivalenceProperty:
         ref = images.pop("multiple")
         for name, img in images.items():
             np.testing.assert_array_equal(img, ref, err_msg=name)
+
+
+class TestRetryBackoffProperty:
+    """The retry backoff sequence must be deterministic for a fixed seed
+    and strictly bounded by the configured cap (plus jitter headroom)."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        base=st.floats(1e-4, 1.0, allow_nan=False, allow_infinity=False),
+        factor=st.floats(1.0, 4.0, allow_nan=False, allow_infinity=False),
+        cap_mult=st.floats(1.0, 10.0, allow_nan=False, allow_infinity=False),
+        jitter=st.floats(0.0, 0.9, allow_nan=False, allow_infinity=False),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_backoff_deterministic_and_bounded(
+        self, seed, base, factor, cap_mult, jitter
+    ):
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(
+            request_timeout=1.0,
+            max_retries=12,
+            backoff_base=base,
+            backoff_factor=factor,
+            backoff_cap=base * cap_mult,
+            jitter=jitter,
+        )
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        seq_a = [policy.backoff(k, rng_a) for k in range(12)]
+        seq_b = [policy.backoff(k, rng_b) for k in range(12)]
+        assert seq_a == seq_b  # bit-identical replay for a fixed seed
+        bound = policy.backoff_cap * (1.0 + policy.jitter) + 1e-12
+        assert all(0.0 <= d <= bound for d in seq_a)
+
+    @given(
+        base=st.floats(1e-4, 1.0, allow_nan=False, allow_infinity=False),
+        factor=st.floats(1.0, 4.0, allow_nan=False, allow_infinity=False),
+        cap_mult=st.floats(1.0, 10.0, allow_nan=False, allow_infinity=False),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_backoff_without_jitter_is_exact_and_monotone(
+        self, base, factor, cap_mult
+    ):
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(
+            request_timeout=1.0,
+            backoff_base=base,
+            backoff_factor=factor,
+            backoff_cap=base * cap_mult,
+        )
+        seq = [policy.backoff(k) for k in range(12)]
+        for k, d in enumerate(seq):
+            assert d == min(policy.backoff_cap, base * factor**k)
+        assert all(b >= a for a, b in zip(seq, seq[1:]))
