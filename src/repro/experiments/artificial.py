@@ -13,11 +13,11 @@ noncontiguous method.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import ClusterConfig
-from ..patterns import block_block, one_dim_cyclic
-from .harness import DataPoint, des_point, model_point
+from ..sweep import PointSpec, run_sweep
+from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
@@ -29,7 +29,7 @@ _WRITE_METHODS = ("multiple", "list")
 
 def _run_sweep(
     figure: str,
-    pattern_fn: Callable,
+    pattern_name: str,
     methods: Sequence[str],
     kind: str,
     scale: Scale,
@@ -38,10 +38,10 @@ def _run_sweep(
     accesses: Optional[Sequence[int]],
     obs=None,
     faults=None,
-) -> List[DataPoint]:
-    points: List[DataPoint] = []
-    run = model_point if mode == "model" else des_point
-    extra = {} if mode == "model" else {"obs": obs}
+    jobs: int = 1,
+    cache=None,
+) -> Tuple[List[DataPoint], object]:
+    specs: List[PointSpec] = []
     for n_clients in clients:
         cfg = ClusterConfig.chiba_city(n_clients=n_clients)
         if faults is not None and mode != "model":
@@ -49,20 +49,20 @@ def _run_sweep(
             # model has no notion of time-varying degradation.
             cfg = cfg.with_(faults=faults)
         for acc in accesses:
-            pattern = pattern_fn(scale.artificial_total, n_clients, acc)
             for method in methods:
-                points.append(
-                    run(
-                        pattern,
-                        method,
-                        kind,
-                        cfg,
+                specs.append(
+                    PointSpec(
                         figure=figure,
+                        pattern=pattern_name,
+                        pattern_args=(scale.artificial_total, n_clients, acc),
+                        method=method,
+                        kind=kind,
+                        mode=mode,
+                        cfg=cfg,
                         x=acc,
-                        **extra,
                     )
                 )
-    return points
+    return run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label=figure)
 
 
 def _monotone_check(result_points, series, n_clients, label) -> Check:
@@ -120,12 +120,14 @@ def figure9(
     accesses: Optional[Sequence[int]] = None,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """One-dimensional cyclic read results (paper Figure 9)."""
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
-    points = _run_sweep(
-        "fig09", one_dim_cyclic, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults
+    points, stats = _run_sweep(
+        "fig09", "one_dim_cyclic", _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -148,6 +150,7 @@ def figure9(
         f"1-D cyclic reads, {scale.name} scale ({mode})",
         points,
         checks,
+        sweep_stats=stats,
     )
 
 
@@ -158,12 +161,14 @@ def figure10(
     accesses: Optional[Sequence[int]] = None,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """One-dimensional cyclic write results (paper Figure 10)."""
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
-    points = _run_sweep(
-        "fig10", one_dim_cyclic, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults
+    points, stats = _run_sweep(
+        "fig10", "one_dim_cyclic", _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -176,6 +181,7 @@ def figure10(
         f"1-D cyclic writes, {scale.name} scale ({mode})",
         points,
         checks,
+        sweep_stats=stats,
     )
 
 
@@ -186,12 +192,14 @@ def figure11(
     accesses: Optional[Sequence[int]] = None,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Block-block read results (paper Figure 11)."""
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
-    points = _run_sweep(
-        "fig11", block_block, _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults
+    points, stats = _run_sweep(
+        "fig11", "block_block", _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -218,6 +226,7 @@ def figure11(
         f"block-block reads, {scale.name} scale ({mode})",
         points,
         checks,
+        sweep_stats=stats,
     )
 
 
@@ -228,12 +237,14 @@ def figure12(
     accesses: Optional[Sequence[int]] = None,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Block-block write results (paper Figure 12)."""
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
-    points = _run_sweep(
-        "fig12", block_block, _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults
+    points, stats = _run_sweep(
+        "fig12", "block_block", _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -244,4 +255,5 @@ def figure12(
         f"block-block writes, {scale.name} scale ({mode})",
         points,
         checks,
+        sweep_stats=stats,
     )

@@ -262,28 +262,59 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--events", action="store_true", help="print each run's fault event log"
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the scenario sweep (default: 1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache directory (default: $PVFS_SIM_CACHE or "
+        "~/.cache/pvfs-sim)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every scenario, neither reading nor writing the cache",
+    )
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from ..sweep import ChaosSpec, ResultCache, default_cache_dir, run_sweep
+
     args = _parser().parse_args(sys.argv[1:] if argv is None else list(argv))
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     scale = SCALES[args.scale]
     scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
-    rows: List[ChaosRow] = []
-    for scenario in scenarios:
-        row = run_scenario(
-            scenario,
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    specs = [
+        ChaosSpec(
+            scenario=scenario,
             benchmark=args.benchmark,
             scale=scale,
             restart_after=args.restart_after,
         )
-        rows.append(row)
-        if args.events and row.events:
-            print(f"-- {scenario} events --")
+        for scenario in scenarios
+    ]
+    rows, stats = run_sweep(specs, jobs=args.jobs, cache=cache, label="chaos")
+    if args.events:
+        for row in rows:
+            if not row.events:
+                continue
+            print(f"-- {row.scenario} events --")
             for t, what in row.events:
                 print(f"[{t:12.6f}] {what}")
             print()
     print(rows_markdown(rows))
+    print(stats.summary_line())
     if args.csv:
         with open(args.csv, "w") as fh:
             fh.write(rows_csv(rows))

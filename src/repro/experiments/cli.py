@@ -4,13 +4,19 @@
 
     pvfs-sim --figure 9 --scale paper --mode model
     pvfs-sim --figure 15 --scale scaled --mode des --csv out.csv
-    pvfs-sim --all --scale scaled
+    pvfs-sim --all --scale scaled --jobs 4
     pvfs-sim --figure 9 --scale smoke --mode des --trace-out t.json --report
     pvfs-sim obs t.json
 
 ``model`` mode evaluates the analytic bound model (fast, any scale);
 ``des`` mode runs the discrete-event simulator (exact event accounting,
 use ``scaled``/``smoke``).
+
+Sweeps run on ``repro.sweep``: ``--jobs N`` fans a figure's points
+across N worker processes (results bit-identical to serial), and a
+content-hashed result cache serves unchanged points from disk
+(``--cache-dir PATH`` to relocate, ``--no-cache`` to bypass) — see
+``docs/performance.md``.
 
 Robustness (DES mode only): ``--straggler IDX:SCALE`` degrades one I/O
 daemon for a whole figure run, and the ``chaos`` subcommand replays the
@@ -102,15 +108,34 @@ def _parser() -> argparse.ArgumentParser:
         help="run with I/O daemon IDX serving SCALE times slower "
         "(repeatable; DES mode only; e.g. --straggler 0:8)",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for each figure sweep "
+        "(default: 1 = serial; results are bit-identical at any job count)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache directory (default: $PVFS_SIM_CACHE or "
+        "~/.cache/pvfs-sim); unchanged points are served from the cache",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point, neither reading nor writing the cache",
+    )
     return p
 
 
 def _run_one(
-    fig: str, scale_name: str, mode: str, obs=None, faults=None
+    fig: str, scale_name: str, mode: str, obs=None, faults=None, jobs=1, cache=None
 ) -> FigureResult:
     scale = SCALES[scale_name]
     driver = FIGURES[fig]
-    return driver(scale=scale, mode=mode, obs=obs, faults=faults)
+    return driver(scale=scale, mode=mode, obs=obs, faults=faults, jobs=jobs, cache=cache)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -173,12 +198,25 @@ def main(argv: List[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         faults = FaultConfig(plan=FaultPlan(stragglers))
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        from ..sweep import ResultCache, default_cache_dir
+
+        cache = ResultCache(args.cache_dir or default_cache_dir())
     figures = sorted(FIGURES, key=int) if args.all else [args.figure]
     all_points = []
     failed = False
     for fig in figures:
-        result = _run_one(fig, args.scale, mode, obs=obs, faults=faults)
+        result = _run_one(
+            fig, args.scale, mode, obs=obs, faults=faults, jobs=args.jobs, cache=cache
+        )
         print(result.markdown())
+        if result.sweep_stats is not None:
+            print(result.sweep_stats.summary_line())
+            print()
         if args.plot:
             from .plot import render_figure
 
@@ -195,6 +233,9 @@ def main(argv: List[str] | None = None) -> int:
             print(obs.report_markdown(best))
             print("### per-run verdicts\n")
             print(obs.runs_overview_markdown())
+            if obs.sweeps:
+                print()
+                print(obs.sweeps_markdown())
         if args.trace_out:
             obs.export_trace(args.trace_out, best)
             print(

@@ -25,13 +25,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..config import ClusterConfig
-from ..core import ListIO, MultipleIO
 from ..datatypes import BYTE, Contiguous, Resized
 from ..mpi import Communicator
 from ..mpiio import open_one
-from ..patterns import flash_io
 from ..pvfs import Cluster
-from .harness import DataPoint, des_point
+from ..sweep import MpiioSpec, PointSpec, run_sweep
+from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
@@ -39,13 +38,16 @@ __all__ = ["figure18"]
 
 
 def _mpiio_point(
-    scale: Scale, n_ranks: int, collective: bool, cb_nodes=None, obs=None
+    scale: Scale, n_ranks: int, collective: bool, cb_nodes=None, obs=None, faults=None
 ) -> DataPoint:
     mesh = scale.flash
     chunk = mesh.chunk_bytes
     nbytes = mesh.n_blocks * mesh.n_vars * chunk
+    cfg = ClusterConfig.chiba_city(n_clients=n_ranks)
+    if faults is not None:
+        cfg = cfg.with_(faults=faults)
     cluster = Cluster.build(
-        ClusterConfig.chiba_city(n_clients=n_ranks),
+        cfg,
         move_bytes=False,
         trace=obs is not None,
     )
@@ -92,6 +94,8 @@ def figure18(
     clients: Optional[Sequence[int]] = None,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Extension: MPI-IO over the paper's list I/O, FLASH-shaped writes.
 
@@ -103,18 +107,27 @@ def figure18(
     if not scale.des_friendly:
         scale = SCALED
     clients = tuple(clients or scale.flash_clients)
-    points: List[DataPoint] = []
+    specs: List[object] = []
     for n in clients:
-        pattern = flash_io(n, scale.flash)
         cfg = ClusterConfig.chiba_city(n_clients=n)
         if faults is not None:
             cfg = cfg.with_(faults=faults)
         for method in ("multiple", "list"):
-            points.append(
-                des_point(pattern, method, "write", cfg, figure="fig18", x=n, obs=obs)
+            specs.append(
+                PointSpec(
+                    figure="fig18",
+                    pattern="flash_io",
+                    pattern_args=(n, scale.flash),
+                    method=method,
+                    kind="write",
+                    mode="des",
+                    cfg=cfg,
+                    x=n,
+                )
             )
-        points.append(_mpiio_point(scale, n, collective=False, obs=obs))
-        points.append(_mpiio_point(scale, n, collective=True, obs=obs))
+        specs.append(MpiioSpec(scale=scale, n_ranks=n, collective=False, faults=faults))
+        specs.append(MpiioSpec(scale=scale, n_ranks=n, collective=True, faults=faults))
+    points, stats = run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label="fig18")
 
     checks: List[Check] = []
 
@@ -157,4 +170,5 @@ def figure18(
         f"EXTENSION: two-phase collective I/O on FLASH, {scale.name} scale (des)",
         points,
         checks,
+        sweep_stats=stats,
     )

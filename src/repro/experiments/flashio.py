@@ -21,8 +21,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..config import ClusterConfig
-from ..patterns import flash_io
-from .harness import DataPoint, des_point, model_point
+from ..sweep import PointSpec, run_sweep
+from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
@@ -39,6 +39,8 @@ def figure15(
     include_text_accounting: bool = False,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Figure 15.
 
@@ -49,42 +51,40 @@ def figure15(
     one table (see EXPERIMENTS.md).
     """
     clients = tuple(clients or scale.flash_clients)
-    run = model_point if mode == "model" else des_point
-    extra = {} if mode == "model" else {"obs": obs}
-    points: List[DataPoint] = []
+    specs: List[PointSpec] = []
     for n in clients:
-        pattern = flash_io(n, scale.flash)
         cfg = ClusterConfig.chiba_city(n_clients=n)
         if faults is not None and mode != "model":
             cfg = cfg.with_(faults=faults)
         for method in methods:
-            points.append(
-                run(pattern, method, "write", cfg, figure="fig15", x=n, **extra)
+            specs.append(
+                PointSpec(
+                    figure="fig15",
+                    pattern="flash_io",
+                    pattern_args=(n, scale.flash),
+                    method=method,
+                    kind="write",
+                    mode=mode,
+                    cfg=cfg,
+                    x=n,
+                )
             )
         if include_text_accounting:
-            if mode == "model":
-                p = model_point(
-                    pattern,
-                    "list",
-                    "write",
-                    cfg,
+            specs.append(
+                PointSpec(
                     figure="fig15",
+                    pattern="flash_io",
+                    pattern_args=(n, scale.flash),
+                    method="list",
+                    kind="write",
+                    mode=mode,
+                    cfg=cfg,
                     x=n,
-                    split_memory_regions=False,
+                    series="list-text",
+                    opts=(("split_memory_regions", False),),
                 )
-            else:
-                p = des_point(
-                    pattern,
-                    "list",
-                    "write",
-                    cfg,
-                    figure="fig15",
-                    x=n,
-                    method_opts={"split_memory_regions": False},
-                    obs=obs,
-                )
-            p.series = "list-text"
-            points.append(p)
+            )
+    points, stats = run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label="fig15")
     checks: List[Check] = []
 
     def series(name):
@@ -132,4 +132,5 @@ def figure15(
         f"FLASH I/O checkpoint writes, {scale.name} scale ({mode})",
         points,
         checks,
+        sweep_stats=stats,
     )

@@ -40,6 +40,9 @@ class FigureResult:
     title: str
     points: List[DataPoint]
     checks: List[Check] = field(default_factory=list)
+    #: Sweep engine accounting (:class:`repro.sweep.SweepStats`) when the
+    #: figure ran through :func:`repro.sweep.run_sweep`; None otherwise.
+    sweep_stats: Optional[object] = None
 
     @property
     def all_passed(self) -> bool:

@@ -17,7 +17,8 @@ from typing import List, Optional, Sequence
 
 from ..config import ClusterConfig
 from ..patterns import tiled_visualization
-from .harness import DataPoint, des_point, model_point
+from ..sweep import PointSpec, run_sweep
+from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
@@ -32,32 +33,28 @@ def figure17(
     methods: Sequence[str] = _METHODS,
     obs=None,
     faults=None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     pattern = tiled_visualization(scale.tiled)
     cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
     if faults is not None and mode == "des":
         cfg = cfg.with_(faults=faults)
-    points: List[DataPoint] = []
-    for method in methods:
-        if mode == "des":
-            points.append(
-                des_point(
-                    pattern,
-                    method,
-                    "read",
-                    cfg,
-                    figure="fig17",
-                    x=pattern.n_ranks,
-                    measure_phases=True,
-                    obs=obs,
-                )
-            )
-        else:
-            points.append(
-                model_point(
-                    pattern, method, "read", cfg, figure="fig17", x=pattern.n_ranks
-                )
-            )
+    specs = [
+        PointSpec(
+            figure="fig17",
+            pattern="tiled_visualization",
+            pattern_args=(scale.tiled,),
+            method=method,
+            kind="read",
+            mode=mode,
+            cfg=cfg,
+            x=pattern.n_ranks,
+            measure_phases=(mode == "des"),
+        )
+        for method in methods
+    ]
+    points, stats = run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label="fig17")
     checks: List[Check] = []
     by = {p.series: p for p in points}
     if "list" in by:
@@ -94,4 +91,5 @@ def figure17(
         f"tiled visualization reads, {scale.name} scale ({mode})",
         points,
         checks,
+        sweep_stats=stats,
     )

@@ -79,6 +79,10 @@ class ObsSession:
     def __init__(self) -> None:
         self.runs: List[RunCapture] = []
         self._active: Dict[int, ClusterMonitor] = {}
+        #: SweepStats records appended by the sweep engine
+        #: (:func:`repro.sweep.run_sweep`): per-worker point counts and
+        #: cache hit/miss accounting, one per sweep observed.
+        self.sweeps: List = []
 
     # -- lifecycle -----------------------------------------------------
     def attach(self, cluster) -> ClusterMonitor:
@@ -109,6 +113,10 @@ class ObsSession:
         monitor.detach()
         self.runs.append(run)
         return run
+
+    def record_sweep(self, stats) -> None:
+        """Attach one sweep's :class:`~repro.sweep.SweepStats` record."""
+        self.sweeps.append(stats)
 
     # -- selection -----------------------------------------------------
     def best_run(self) -> Optional[RunCapture]:
@@ -157,5 +165,14 @@ class ObsSession:
             )
         return "\n".join(lines) + "\n"
 
+    def sweeps_markdown(self) -> str:
+        """Sweep-level observability: one table per recorded sweep."""
+        if not self.sweeps:
+            return "(no sweeps recorded)\n"
+        return "\n".join(s.to_markdown() for s in self.sweeps)
+
     def __repr__(self) -> str:
-        return f"<ObsSession runs={len(self.runs)} active={len(self._active)}>"
+        return (
+            f"<ObsSession runs={len(self.runs)} active={len(self._active)} "
+            f"sweeps={len(self.sweeps)}>"
+        )

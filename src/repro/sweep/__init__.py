@@ -1,0 +1,41 @@
+"""Parallel sweep engine with a content-hashed on-disk result cache.
+
+Every figure sweep in this repository is embarrassingly parallel: each
+:class:`DataPoint` is one independent, deterministic simulation whose
+seed lives on its own :class:`~repro.config.ClusterConfig`.  This package
+exploits exactly that:
+
+* :mod:`repro.sweep.spec` — picklable *point specs* (pattern recipe +
+  method + config) that both worker processes and the cache key off;
+* :mod:`repro.sweep.engine` — :func:`run_sweep`, which fans specs out
+  across ``multiprocessing`` workers (spawn context, deterministic result
+  ordering regardless of completion order) and reports
+  :class:`SweepStats`;
+* :mod:`repro.sweep.cache` — :class:`ResultCache`, a content-addressed
+  JSON store keyed on the spec, the fault plan it embeds, and a
+  fingerprint of every ``.py`` file under ``repro`` (so any code edit
+  invalidates automatically);
+* :mod:`repro.sweep.fingerprint` — that code fingerprint.
+
+Parallel runs are bit-identical to serial runs (each point owns its
+seeded RNG; the test suite asserts equality, not approximation), and a
+cached point is byte-exact: floats survive the JSON round trip via
+``repr`` shortest-roundtrip encoding.  See ``docs/performance.md``.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .engine import SweepStats, run_sweep
+from .fingerprint import code_fingerprint
+from .spec import ChaosSpec, MpiioSpec, PointSpec, canonical
+
+__all__ = [
+    "ResultCache",
+    "default_cache_dir",
+    "SweepStats",
+    "run_sweep",
+    "code_fingerprint",
+    "PointSpec",
+    "MpiioSpec",
+    "ChaosSpec",
+    "canonical",
+]

@@ -1,0 +1,120 @@
+"""Content-hashed on-disk result cache for sweep points.
+
+Key
+    SHA-256 over the canonical JSON of the spec (which embeds the full
+    :class:`~repro.config.ClusterConfig` — seed, cost model, stripe
+    parameters, *and* the fault plan/retry policy) plus the
+    :func:`~repro.sweep.fingerprint.code_fingerprint` of the installed
+    ``repro`` package.  Change any config field, any fault, or any line
+    of source and the key changes; nothing needs manual invalidation.
+
+Value
+    The point's stats/metrics as JSON (``DataPoint`` or ``ChaosRow``
+    fields).  Floats are serialized with ``repr`` shortest-roundtrip
+    encoding, so a cache hit is *bit-identical* to the original run —
+    the equality tests in ``tests/test_sweep_cache.py`` use ``==``, not
+    ``approx``.
+
+Entries are one file each under ``<dir>/<key[:2]>/<key>.json``, written
+atomically (temp file + ``os.replace``) so concurrent sweeps sharing a
+cache directory never observe torn entries.  Unreadable or corrupt
+entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from .fingerprint import code_fingerprint
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+#: Bump when the entry layout changes; old entries become misses.
+_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    """``$PVFS_SIM_CACHE`` if set, else ``$XDG_CACHE_HOME/pvfs-sim`` or
+    ``~/.cache/pvfs-sim``."""
+    env = os.environ.get("PVFS_SIM_CACHE")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return str(base / "pvfs-sim")
+
+
+class ResultCache:
+    """Content-addressed store mapping sweep specs to their results."""
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root)
+        #: Injectable for tests; defaults to the live code fingerprint.
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec) -> str:
+        payload = {
+            "format": _FORMAT,
+            "code": self.fingerprint,
+            "token": spec.cache_token(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec) -> Optional[Any]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        path = self._path(self.key(spec))
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            result = spec.result_from_json(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec, result) -> None:
+        """Store ``result`` for ``spec`` (atomic; last writer wins)."""
+        key = self.key(spec)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": _FORMAT,
+            "key": key,
+            "code": self.fingerprint,
+            "token": spec.cache_token(),
+            "result": spec.result_to_json(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {str(self.root)!r} entries={len(self)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,49 @@
+"""Code fingerprint: one hash over every ``.py`` file of the package.
+
+The result cache must never serve a point computed by *different code*:
+a calibration-constant tweak in ``config.py`` or a method change in
+``core/`` silently alters every simulated time.  Rather than tracking
+which modules a point touches (fragile), the cache keys on a single
+SHA-256 over the relative path and contents of every Python source file
+under ``repro`` — any edit anywhere in the package invalidates the whole
+cache.  That is deliberately coarse: recomputing a sweep is cheap next
+to debugging a stale cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_fingerprint"]
+
+_cached: dict = {}
+
+
+def code_fingerprint(root: Optional[str] = None) -> str:
+    """SHA-256 hex digest over all ``*.py`` files under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory.  The
+    walk is sorted, so the digest is independent of filesystem order;
+    the digest covers relative paths as well as contents, so renames
+    invalidate too.  Memoized per root for the life of the process.
+    """
+    if root is None:
+        import repro
+
+        root = str(Path(repro.__file__).resolve().parent)
+    root = str(Path(root).resolve())
+    hit = _cached.get(root)
+    if hit is not None:
+        return hit
+    base = Path(root)
+    h = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        h.update(str(path.relative_to(base)).encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    digest = h.hexdigest()
+    _cached[root] = digest
+    return digest

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans ``README.md`` and every ``.md`` file under ``docs/`` for inline
+markdown links/images (``[text](target)``) and reference definitions
+(``[label]: target``), resolves each *relative* target against the file
+that contains it, and exits non-zero listing every target that does not
+exist on disk.
+
+Skipped on purpose: absolute URLs (``http(s)://``, ``mailto:``),
+in-page anchors (``#section``), and bare autolinks.  A relative target
+may carry an anchor (``file.md#section``); only the file part is
+checked.
+
+Usage::
+
+    python tools/check_links.py            # from the repo root
+    python tools/check_links.py --root P   # explicit repo root
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+# [text](target) and ![alt](target) — target up to the first unescaped ')'
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [label]: target  reference-style definitions at line start
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Blank out fenced and inline code so example links are ignored."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def _targets(text: str) -> Iterable[str]:
+    clean = _strip_code(text)
+    for match in _INLINE.finditer(clean):
+        yield match.group(1)
+    for match in _REFDEF.finditer(clean):
+        yield match.group(1)
+
+
+def check_file(md_file: Path, root: Path) -> List[Tuple[str, str]]:
+    """Return (file, target) pairs for every dead relative link."""
+    dead = []
+    for target in _targets(md_file.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            dead.append((str(md_file.relative_to(root)), target))
+    return dead
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the parent of tools/)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    files = sorted((root / "docs").glob("**/*.md")) + [root / "README.md"]
+    files = [f for f in files if f.exists()]
+
+    dead: List[Tuple[str, str]] = []
+    checked = 0
+    for md_file in files:
+        found = check_file(md_file, root)
+        checked += 1
+        dead.extend(found)
+
+    if dead:
+        print(f"dead relative links ({len(dead)}):", file=sys.stderr)
+        for source, target in dead:
+            print(f"  {source}: {target}", file=sys.stderr)
+        return 1
+    print(f"checked {checked} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
