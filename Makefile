@@ -2,22 +2,40 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures figures-paper examples clean
+.PHONY: install test test-out bench bench-compare bench-pytest bench-only \
+	lint figures figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# mirrors the tier-1 CI invocation exactly
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 test-out:
-	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q 2>&1 | tee test_output.txt
 
+# deterministic regression suite (see docs/benchmarking.md)
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli bench run --scale smoke
+
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli bench run \
+		--scale smoke --out BENCH_local.json
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli bench compare \
+		benchmarks/baseline_smoke.json BENCH_local.json --wall-tolerance none
+
+# pytest-benchmark microbenchmarks (wall-clock timings, not gated)
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/
 
 bench-only:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# requires ruff (CI installs it; not part of the runtime deps)
+lint:
+	ruff check .
+	ruff format --check src/repro/bench
 
 # regenerate every figure from the paper's evaluation
 figures:

@@ -14,9 +14,9 @@
 import pytest
 
 from repro.config import ClusterConfig
-from repro.experiments import SCALED, des_point, model_point
+from repro.experiments import SCALED, des_point
 from repro.patterns import one_dim_cyclic
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 DENSITIES = {
     # accesses per client -> fragment size shrinks as accesses grow

@@ -7,7 +7,7 @@ without sweeping either; these benches fill that gap.
 import pytest
 
 from repro.config import ClusterConfig, StripeParams
-from repro.experiments import SCALED, des_point, model_point
+from repro.experiments import SCALED, des_point
 from repro.patterns import one_dim_cyclic
 from repro.units import KiB, MiB
 

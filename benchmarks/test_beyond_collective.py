@@ -15,7 +15,6 @@ should beat independent list I/O handily — and even challenge data
 sieving, without sieving's serialization.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import ClusterConfig

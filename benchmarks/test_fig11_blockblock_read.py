@@ -11,7 +11,7 @@ import pytest
 
 from repro.config import ClusterConfig
 from repro.experiments import SCALED, des_point, figure9, figure11
-from repro.patterns import block_block, one_dim_cyclic
+from repro.patterns import block_block
 
 ACCESSES = (1024, 2048, 4096)
 CLIENTS = (4, 16)

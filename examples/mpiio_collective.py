@@ -18,7 +18,6 @@ prints time + request counts:
 Run:  python examples/mpiio_collective.py
 """
 
-import numpy as np
 
 from repro.config import ClusterConfig
 from repro.core import ListIO, MultipleIO

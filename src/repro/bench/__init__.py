@@ -1,0 +1,48 @@
+"""Benchmark-regression harness: a deterministic performance trajectory.
+
+The paper's contribution is comparative performance, so this package
+gives the repository a machine-readable baseline to gate on:
+
+* :mod:`repro.bench.suite` — the curated scenario suite (one per figure
+  family plus kernel/network/storage microbenchmarks) and its runner;
+* :mod:`repro.bench.schema` — schema-versioned ``BENCH_*.json`` results
+  with bit-identical simulated metrics and median-of-N wall clocks;
+* :mod:`repro.bench.compare` — per-metric tolerance policy (0% for
+  simulated metrics, a configurable band for wall clock) and the
+  regression table;
+* :mod:`repro.bench.cli` — the ``pvfs-sim bench run|compare|list``
+  subcommand CI gates on.
+
+See ``docs/benchmarking.md`` for the file format and baseline-refresh
+workflow.
+"""
+
+from .compare import CompareReport, CompareRow, compare_results
+from .schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    ScenarioResult,
+    SimMetrics,
+    WallMetrics,
+    load,
+    save,
+)
+from .suite import SUITE, Scenario, build_specs, run_suite, scenario_names
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "ScenarioResult",
+    "SimMetrics",
+    "WallMetrics",
+    "load",
+    "save",
+    "Scenario",
+    "SUITE",
+    "build_specs",
+    "run_suite",
+    "scenario_names",
+    "CompareReport",
+    "CompareRow",
+    "compare_results",
+]

@@ -1,0 +1,203 @@
+"""Schema-versioned benchmark result files (``BENCH_<timestamp>.json``).
+
+One :class:`BenchResult` records one run of the curated suite
+(:mod:`repro.bench.suite`): per scenario, the **simulated metrics**
+(simulated seconds, bytes moved, request counts — bit-identical across
+runs at the same seed) and the **wall-clock metrics** (median of N timed
+repeats with spread).  The two kinds are gated differently by
+:mod:`repro.bench.compare`: simulated metrics at zero tolerance, wall
+clock within a configurable band.
+
+The JSON layout is versioned by :data:`SCHEMA_VERSION`; :func:`load`
+rejects files written by a different schema with
+:class:`~repro.errors.SchemaMismatchError`, so a stale committed baseline
+fails loudly instead of producing a nonsense diff.  Floats round-trip via
+``repr`` shortest-roundtrip encoding (the ``json`` module default), so a
+saved-and-reloaded result compares ``==`` to the in-memory original.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+from ..errors import BenchError, SchemaMismatchError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SimMetrics",
+    "WallMetrics",
+    "ScenarioResult",
+    "BenchResult",
+    "load",
+    "save",
+]
+
+#: Bump on any incompatible change to the JSON layout below.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimMetrics:
+    """Deterministic accounting summed over a scenario's sweep points.
+
+    Every field is derived from simulated execution only, so two runs of
+    the same code at the same seed agree bit for bit.
+    """
+
+    #: Sum of simulated elapsed seconds over the scenario's points.
+    elapsed_s: float
+    moved_bytes: int
+    useful_bytes: int
+    logical_requests: int
+    server_messages: int
+    #: Number of sweep points the scenario ran.
+    n_points: int
+
+    @classmethod
+    def from_points(cls, points) -> "SimMetrics":
+        """Aggregate a list of :class:`~repro.experiments.harness.DataPoint`."""
+        return cls(
+            elapsed_s=float(sum(p.elapsed for p in points)),
+            moved_bytes=int(sum(p.moved_bytes for p in points)),
+            useful_bytes=int(sum(p.useful_bytes for p in points)),
+            logical_requests=int(sum(p.logical_requests for p in points)),
+            server_messages=int(sum(p.server_messages for p in points)),
+            n_points=len(points),
+        )
+
+
+@dataclass(frozen=True)
+class WallMetrics:
+    """Host-clock statistics over N timed repeats of one scenario."""
+
+    median_s: float
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+    repeats: int
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "WallMetrics":
+        if not samples:
+            raise BenchError("wall metrics need at least one timed sample")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mid = n // 2
+        median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+        mean = sum(ordered) / n
+        var = sum((s - mean) ** 2 for s in ordered) / n
+        return cls(
+            median_s=median,
+            mean_s=mean,
+            std_s=var**0.5,
+            min_s=ordered[0],
+            max_s=ordered[-1],
+            repeats=n,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One suite scenario's simulated + wall-clock outcome."""
+
+    name: str
+    family: str  # "artificial" | "flash" | "tiled" | "collective" | "micro"
+    sim: SimMetrics
+    wall: WallMetrics
+
+
+@dataclass
+class BenchResult:
+    """One full suite run, as serialized to ``BENCH_<timestamp>.json``."""
+
+    scale: str
+    scenarios: List[ScenarioResult]
+    schema_version: int = SCHEMA_VERSION
+    #: ISO-8601 UTC creation stamp (provenance only; never compared).
+    created: str = ""
+    #: Host provenance (python/platform); never compared.
+    host: Dict[str, str] = field(default_factory=dict)
+    #: ``repro`` source fingerprint at run time (provenance only —
+    #: a baseline is *expected* to come from older code).
+    code_fingerprint: str = ""
+    repeats: int = 1
+    jobs: int = 1
+    cache_enabled: bool = False
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for sc in self.scenarios:
+            if sc.name == name:
+                return sc
+        raise KeyError(name)
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "BenchResult":
+        try:
+            version = data["schema_version"]
+        except (TypeError, KeyError):
+            raise SchemaMismatchError("not a bench result file: missing schema_version") from None
+        if version != SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"bench schema version {version} != supported {SCHEMA_VERSION}; "
+                "refresh the file with 'pvfs-sim bench run'"
+            )
+        try:
+            scenarios = [
+                ScenarioResult(
+                    name=sc["name"],
+                    family=sc["family"],
+                    sim=SimMetrics(**sc["sim"]),
+                    wall=WallMetrics(**sc["wall"]),
+                )
+                for sc in data["scenarios"]
+            ]
+            return cls(
+                scale=data["scale"],
+                scenarios=scenarios,
+                schema_version=version,
+                created=data.get("created", ""),
+                host=dict(data.get("host", {})),
+                code_fingerprint=data.get("code_fingerprint", ""),
+                repeats=int(data.get("repeats", 1)),
+                jobs=int(data.get("jobs", 1)),
+                cache_enabled=bool(data.get("cache_enabled", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"malformed bench result file: {exc}") from None
+
+
+def save(result: BenchResult, path: str) -> None:
+    """Write ``result`` as JSON (atomic: temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load(path: str) -> BenchResult:
+    """Read a ``BENCH_*.json`` file, rejecting schema mismatches."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise BenchError(f"cannot read bench result {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise BenchError(f"invalid JSON in bench result {path!r}: {exc}") from None
+    return BenchResult.from_json(data)

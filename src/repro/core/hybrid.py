@@ -23,13 +23,13 @@ I/O on coalesced regions.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..errors import RegionError
 from ..mpi import Communicator
-from ..regions import RegionList, build_flat_indices, pair_pieces
+from ..regions import RegionList, build_flat_indices
 from ..pvfs.client import PVFSFile
 from .base import AccessMethod, validate_transfer
 

@@ -24,9 +24,7 @@ accounting.  EXPERIMENTS.md reports both.
 
 from __future__ import annotations
 
-from typing import Optional
 
-import numpy as np
 
 from ..regions import RegionList, pair_pieces
 from ..pvfs.client import PVFSFile

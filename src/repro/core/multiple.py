@@ -17,9 +17,7 @@ become the wall.
 
 from __future__ import annotations
 
-from typing import Optional
 
-import numpy as np
 
 from ..errors import ConfigError
 from ..regions import RegionList, pair_pieces

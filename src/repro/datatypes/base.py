@@ -238,7 +238,6 @@ class HIndexed(Datatype):
         self.extent = int(ends.max()) if ends.size else 0
 
     def _typemap(self):
-        block_map = self.base.typemap()
         offs = []
         lens = []
         for bl, dp in zip(self.blocklengths.tolist(), self.displacements.tolist()):

@@ -24,6 +24,8 @@ __all__ = [
     "ConfigError",
     "PatternError",
     "ModelError",
+    "BenchError",
+    "SchemaMismatchError",
     "FaultError",
     "TimeoutError",
     "ServerCrashed",
@@ -91,6 +93,17 @@ class PatternError(ReproError):
 
 class ModelError(ReproError):
     """Raised by the analytic performance model."""
+
+
+class BenchError(ReproError):
+    """Raised by the benchmark-regression harness (:mod:`repro.bench`) for
+    malformed result files, unknown scenarios, or in-run determinism
+    violations."""
+
+
+class SchemaMismatchError(BenchError):
+    """A ``BENCH_*.json`` file was written under a different schema version
+    than this code supports; regenerate it with ``pvfs-sim bench run``."""
 
 
 class FaultError(ReproError):

@@ -27,6 +27,13 @@ stalls, flaky networking) with client timeouts and retries — see
     pvfs-sim chaos --scenario crash --benchmark artificial --scale smoke
     pvfs-sim --figure 9 --scale smoke --mode des --straggler 0:8
 
+Benchmarking: the ``bench`` subcommand runs the deterministic
+regression suite and gates on a committed baseline — see
+``docs/benchmarking.md``::
+
+    pvfs-sim bench run --scale smoke --out BENCH_ci.json
+    pvfs-sim bench compare benchmarks/baseline_smoke.json BENCH_ci.json
+
 Observability (DES mode only): ``--trace-out FILE.json`` captures every
 simulated run and writes the longest one as a Perfetto-loadable trace
 (open it at ``ui.perfetto.dev``); ``--report`` prints the bottleneck
@@ -150,6 +157,11 @@ def main(argv: List[str] | None = None) -> int:
         from .chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # `pvfs-sim bench run|compare|list` — the regression suite.
+        from ..bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = _parser().parse_args(argv)
     scale = SCALES[args.scale]
     mode = args.mode or ("model" if not scale.des_friendly else "des")

@@ -22,7 +22,6 @@ from typing import List, Optional, Sequence
 
 from ..config import ClusterConfig
 from ..sweep import PointSpec, run_sweep
-from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 

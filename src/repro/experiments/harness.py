@@ -14,7 +14,7 @@ does (barrier loop).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from ..config import ClusterConfig
 from ..core import METHODS, DataSievingIO, HybridIO

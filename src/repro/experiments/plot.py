@@ -13,9 +13,8 @@ apart" at a glance.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .harness import DataPoint
 from .report import FigureResult
 
 __all__ = ["ascii_chart", "ascii_bars", "render_figure"]

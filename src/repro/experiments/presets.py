@@ -17,7 +17,7 @@ DES results so the two can be compared point by point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..patterns import FlashConfig, TiledConfig

@@ -10,9 +10,8 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..units import fmt_time
 from .harness import DataPoint
 
 __all__ = ["FigureResult", "Check", "series_table", "points_to_csv"]

@@ -13,12 +13,11 @@ Paper claims encoded as checks:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..config import ClusterConfig
 from ..patterns import tiled_visualization
 from ..sweep import PointSpec, run_sweep
-from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 

@@ -20,7 +20,7 @@ Compilation mirrors the access methods exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

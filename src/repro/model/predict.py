@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from ..config import ClusterConfig
 from ..errors import ModelError
 from ..patterns.base import Pattern
 from ..pvfs.protocol import REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES
-from ..regions import RegionList, split_with_parents
+from ..regions import split_with_parents
 from .plan import RankPlan, compile_rank_plan
 
 __all__ = ["Prediction", "predict_pattern", "predict_plans"]

@@ -14,7 +14,7 @@ bulk data through the NIC model.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from ..errors import ConfigError
 from ..simulate import Barrier, Event, Simulator

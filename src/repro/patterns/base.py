@@ -10,9 +10,8 @@ both the live simulator and the analytic model consume the same objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
-import numpy as np
 
 from ..errors import PatternError
 from ..regions import RegionList

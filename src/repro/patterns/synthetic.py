@@ -111,7 +111,6 @@ def random_fragments(
 
     accesses = []
     cursor = 0
-    per_client: list = []
     # Build a global interleaved schedule: round-robin one fragment per
     # client per round, with random sizes/gaps.
     offs = [[] for _ in range(n_clients)]

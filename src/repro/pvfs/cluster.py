@@ -17,7 +17,7 @@ experiment harness drives::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import ClusterConfig

@@ -174,7 +174,6 @@ class IOD:
 
     # ------------------------------------------------------------------
     def _run(self):
-        sim = self.sim
         try:
             while True:
                 req: IORequest = yield self.inbox.get()

@@ -17,12 +17,11 @@ slices and reassemble read responses, all with numpy fancy indexing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from ..config import StripeParams
-from ..errors import ConfigError
 from ..regions import RegionList, build_flat_indices
 
 __all__ = ["StripeMap", "ServerSlice", "map_regions", "server_for_offset"]

@@ -9,7 +9,7 @@ resumed when those events fire.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List
 
 from ..errors import SimulationError
 

@@ -19,7 +19,6 @@ from typing import Hashable, Tuple
 import numpy as np
 
 from ..config import CacheConfig
-from ..errors import StorageError
 
 __all__ = ["BlockCache", "CacheStats"]
 

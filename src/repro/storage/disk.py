@@ -25,7 +25,6 @@ from typing import Hashable, Optional, Tuple
 import numpy as np
 
 from ..config import CacheConfig, DiskConfig
-from ..errors import StorageError
 from ..regions import RegionList
 from .cache import BlockCache
 

@@ -1,0 +1,101 @@
+"""Schema round-trip and version gating for ``repro.bench.schema``."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    ScenarioResult,
+    SimMetrics,
+    WallMetrics,
+    load,
+    save,
+)
+from repro.errors import BenchError, SchemaMismatchError
+
+
+def _result(**overrides) -> BenchResult:
+    sim = SimMetrics(
+        elapsed_s=1.2345678901234567,
+        moved_bytes=1024,
+        useful_bytes=512,
+        logical_requests=10,
+        server_messages=12,
+        n_points=3,
+    )
+    wall = WallMetrics.from_samples([0.30000000000000004, 0.1, 0.2])
+    kwargs = dict(
+        scale="smoke",
+        scenarios=[ScenarioResult(name="s1", family="artificial", sim=sim, wall=wall)],
+        created="2026-08-06T00:00:00Z",
+        host={"python": "3.11.7"},
+        code_fingerprint="abc123",
+        repeats=3,
+        jobs=2,
+        cache_enabled=False,
+    )
+    kwargs.update(overrides)
+    return BenchResult(**kwargs)
+
+
+def test_round_trip_is_bit_identical(tmp_path):
+    path = str(tmp_path / "BENCH_test.json")
+    original = _result()
+    save(original, path)
+    reloaded = load(path)
+    # Dataclass equality covers every field, floats included: json's
+    # repr shortest-roundtrip encoding preserves them exactly.
+    assert reloaded == original
+
+
+def test_wall_metrics_statistics():
+    wall = WallMetrics.from_samples([0.4, 0.1, 0.2, 0.3])
+    assert wall.median_s == pytest.approx(0.25)
+    assert wall.min_s == 0.1
+    assert wall.max_s == 0.4
+    assert wall.repeats == 4
+    odd = WallMetrics.from_samples([3.0, 1.0, 2.0])
+    assert odd.median_s == 2.0
+
+
+def test_wall_metrics_reject_empty():
+    with pytest.raises(BenchError):
+        WallMetrics.from_samples([])
+
+
+def test_schema_version_mismatch_rejected(tmp_path):
+    path = str(tmp_path / "BENCH_old.json")
+    save(_result(), path)
+    with open(path) as fh:
+        data = json.load(fh)
+    data["schema_version"] = SCHEMA_VERSION + 1
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    with pytest.raises(SchemaMismatchError):
+        load(path)
+
+
+def test_missing_schema_version_rejected(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text('{"scale": "smoke", "scenarios": []}')
+    with pytest.raises(SchemaMismatchError):
+        load(str(path))
+
+
+def test_malformed_file_rejected(tmp_path):
+    path = tmp_path / "BENCH_broken.json"
+    path.write_text("not json at all")
+    with pytest.raises(BenchError):
+        load(str(path))
+    missing = tmp_path / "nope.json"
+    with pytest.raises(BenchError):
+        load(str(missing))
+
+
+def test_scenario_lookup():
+    result = _result()
+    assert result.scenario("s1").family == "artificial"
+    with pytest.raises(KeyError):
+        result.scenario("absent")

@@ -1,6 +1,5 @@
 """Tests for MPI-style derived datatypes (repro.datatypes)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -19,7 +18,6 @@ from repro.datatypes import (
     Subarray,
     Vector,
 )
-from repro.regions import RegionList
 
 
 class TestPredefined:

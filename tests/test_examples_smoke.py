@@ -4,7 +4,6 @@ Only the quick ones execute here (the full set runs via ``make examples``);
 the rest are import-checked so a syntax/API break fails the suite.
 """
 
-import importlib.util
 import pathlib
 import subprocess
 import sys

@@ -9,7 +9,6 @@ from repro.experiments import (
     SMOKE,
     Check,
     DataPoint,
-    FigureResult,
     des_point,
     figure9,
     figure10,

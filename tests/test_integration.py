@@ -1,7 +1,6 @@
 """Integration tests: whole-stack scenarios across modules."""
 
 import numpy as np
-import pytest
 
 from repro.config import ClusterConfig, StripeParams
 from repro.core import DataSievingIO, ListIO, MultipleIO, VectorIO
@@ -27,7 +26,7 @@ class TestDeterminism:
             def wl(client):
                 f = yield from client.open(f"/d{client.index}", create=True)
                 yield from f.write(0, np.zeros(10_000, np.uint8))
-                data = yield from f.read(0, 10_000)
+                yield from f.read(0, 10_000)
                 yield from f.close()
                 return float(client.sim.now)
 
@@ -115,7 +114,6 @@ class TestFlashEndToEnd:
         mesh = FlashConfig(n_blocks=2, nxb=2, nyb=2, nzb=2, n_vars=2, n_guard=1)
         pattern = flash_io(2, mesh)
         cluster = cluster_(n_clients=2)
-        comm = Communicator(cluster.sim, 2)
         # each proc fills its padded blocks with (rank+1)
         buf_size = pattern.rank(0).mem_regions.extent[1]
 

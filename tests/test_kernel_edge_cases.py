@@ -3,7 +3,6 @@ timing, run(until) boundaries."""
 
 import pytest
 
-from repro.errors import SimulationError
 from repro.simulate import AnyOf, Interrupt, Resource, Simulator, Store
 
 

@@ -2,7 +2,6 @@
 chart edge values, network byte conservation."""
 
 import numpy as np
-import pytest
 
 from repro.config import CacheConfig, ClusterConfig, StripeParams
 from repro.pvfs import Cluster

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import ClusterConfig, StripeParams
+from repro.config import ClusterConfig
 from repro.errors import ModelError
 from repro.model import compile_rank_plan, predict_pattern, predict_plans
 from repro.model.plan import RankPlan

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.config import ClusterConfig, StripeParams
-from repro.datatypes import BYTE, DOUBLE, Contiguous, DatatypeError, HVector, Vector
+from repro.datatypes import BYTE, DOUBLE, Contiguous, DatatypeError, HVector
 from repro.mpi import Communicator
-from repro.mpiio import FileView, MPIFile, open_one
+from repro.mpiio import FileView, open_one
 from repro.pvfs import Cluster
 from repro.regions import RegionList
 
@@ -442,7 +442,6 @@ class TestViewProperties:
 class TestErrors:
     def test_double_entry_detected(self):
         cluster = make_cluster(n_clients=2)
-        comm = Communicator(cluster.sim, 2)
         from repro.mpiio.file import _CollectiveContext, _Exchange
 
         ex = _Exchange(cluster.sim, 2)

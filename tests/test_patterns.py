@@ -1,6 +1,5 @@
 """Tests for the benchmark access patterns."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PatternError
@@ -164,7 +163,6 @@ class TestFlash:
         p = flash_io(1, cfg)
         offs = p.rank(0).mem_regions.offsets
         # padded block is 4x4x4; inner elements are at (1..2)^3
-        px = 4
         expected_first = (1 * 16 + 1 * 4 + 1) * 8  # element (z=1,y=1,x=1)
         assert offs[0] == expected_first
 

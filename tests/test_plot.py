@@ -1,6 +1,5 @@
 """Tests for the ASCII chart renderer (repro.experiments.plot)."""
 
-import pytest
 
 from repro.experiments import SMOKE, figure9, figure17
 from repro.experiments.plot import ascii_bars, ascii_chart, render_figure

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -186,7 +185,6 @@ class TestStripingProperties:
     def test_no_piece_crosses_stripe_unit(self, regions, stripe_size, n_iods):
         sp = StripeParams(stripe_size=stripe_size)
         smap = map_regions(regions, sp, n_iods)
-        pcount = sp.resolve_pcount(n_iods)
         for sl in smap:
             # physical pieces must stay within one stripe unit each
             unit = sl.physical.offsets // stripe_size

@@ -276,7 +276,6 @@ class TestListIO:
 class TestNonblockingAPI:
     def test_iread_iwrite_overlap(self):
         """Two nonblocking writes to different servers overlap in time."""
-        cluster = small_cluster()
 
         def serial(client):
             f = yield from client.open("/nb1", create=True)

@@ -2,16 +2,8 @@
 
 import pytest
 
-from repro.errors import DeadlockError, SimulationError
-from repro.simulate import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    Process,
-    Simulator,
-    Timeout,
-)
+from repro.errors import SimulationError
+from repro.simulate import AllOf, Interrupt, Simulator
 
 
 class TestEvent:

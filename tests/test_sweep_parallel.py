@@ -12,7 +12,6 @@ policy and straggler plans) so the faults layer is exercised *through*
 the worker-process path, not just the serial one.
 """
 
-import pytest
 
 from repro.config import ClusterConfig
 from repro.faults import FaultConfig, FaultPlan, Straggler

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import ClusterConfig
-from repro.core import ListIO, MultipleIO
+from repro.core import ListIO
 from repro.errors import PatternError
 from repro.patterns import random_fragments, uniform_fragments
 from repro.pvfs import Cluster

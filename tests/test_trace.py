@@ -6,7 +6,7 @@ import pytest
 from repro.config import ClusterConfig, StripeParams
 from repro.pvfs import Cluster
 from repro.regions import RegionList
-from repro.simulate import Span, Tracer
+from repro.simulate import Tracer
 
 
 class TestTracer:
@@ -121,7 +121,7 @@ class TestClusterTracing:
                 RegionList.strided(client.index * 64, 10, 8, 256),
                 np.zeros(80, np.uint8),
             )
-            got = yield from f.read(0, 64)
+            yield from f.read(0, 64)
             yield from f.close()
 
         cluster.run_workload(wl)
@@ -144,7 +144,6 @@ class TestClusterTracing:
         cluster = self.run_traced()
         t = cluster.tracer
         total_client = sum(s.duration for s in t.spans_for("client.request"))
-        total_service = sum(s.duration for s in t.spans_for("iod.service"))
         assert total_client > 0
         # a client request includes its servers' service time plus wire time
         assert max(s.duration for s in t.spans_for("client.request")) >= max(
