@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-out bench bench-compare bench-pytest bench-only \
-	lint figures figures-paper examples clean
+	profile lint figures figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,12 @@ bench-compare:
 		--scale smoke --out BENCH_local.json
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli bench compare \
 		benchmarks/baseline_smoke.json BENCH_local.json --wall-tolerance none
+
+# kernel + host profiling: SSR headline, per-handler table, flamegraph
+# input (profile.json / profile.collapsed / profile.pstats, metrics JSONL)
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli profile \
+		--scale smoke --out profile --metrics-out profile_metrics.jsonl
 
 # pytest-benchmark microbenchmarks (wall-clock timings, not gated)
 bench-pytest:

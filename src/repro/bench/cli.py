@@ -81,6 +81,19 @@ def _parser() -> argparse.ArgumentParser:
         "its Perfetto trace (open at ui.perfetto.dev)",
     )
     run.add_argument(
+        "--profile",
+        metavar="PREFIX",
+        help="after timing, re-run the suite once under the kernel profiler "
+        "and cProfile; writes PREFIX.json (handler table + SSR), "
+        "PREFIX.collapsed (flamegraph input), and PREFIX.pstats",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE.jsonl",
+        help="export the suite's time-series metrics registry as JSONL "
+        "(summarize with 'pvfs-sim obs FILE.jsonl')",
+    )
+    run.add_argument(
         "--cache-dir",
         metavar="PATH",
         help="serve sweep points from this result cache (off by default: "
@@ -123,6 +136,11 @@ def _run(args) -> int:
         cache = ResultCache(args.cache_dir)
     out = args.out or time.strftime("BENCH_%Y%m%d_%H%M%SZ.json", time.gmtime())
     say = (lambda _msg: None) if args.quiet else print
+    metrics = None
+    if args.metrics_out:
+        from ..obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     try:
         result = suite.run_suite(
             SCALES[args.scale],
@@ -130,6 +148,7 @@ def _run(args) -> int:
             repeats=args.repeats,
             jobs=args.jobs,
             cache=cache,
+            metrics=metrics,
             progress=say,
         )
     except BenchError as exc:
@@ -138,6 +157,18 @@ def _run(args) -> int:
     schema.save(result, out)
     print(_summary_markdown(result))
     print(f"wrote {len(result.scenarios)} scenario(s) to {out}")
+    if metrics is not None:
+        metrics.write_jsonl(args.metrics_out)
+        print(
+            f"wrote metrics registry to {args.metrics_out} "
+            f"(summarize with 'pvfs-sim obs {args.metrics_out}')"
+        )
+    if args.profile:
+        try:
+            _profile_after_run(args, result)
+        except BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.trace_out:
         from ..obs import ObsSession
 
@@ -158,21 +189,52 @@ def _run(args) -> int:
     return 0
 
 
+def _profile_after_run(args, result: schema.BenchResult) -> None:
+    """Serve ``bench run --profile PREFIX``: one serial profiled re-run.
+
+    The re-run happens after (never during) the timed repeats, under both
+    the kernel profiler and cProfile, and is cross-checked bit-identical
+    against the timed result — see :func:`repro.bench.suite.profile_suite`.
+    """
+    from ..obs import prof
+
+    prefix = args.profile
+    (profile, _per_scenario), cprofile = prof.capture_cprofile(
+        suite.profile_suite,
+        SCALES[args.scale],
+        scenarios=args.scenario,
+        expected=result,
+    )
+    prof.save_profile_json(
+        profile, prefix + ".json", scale=args.scale, scenarios=args.scenario or "all"
+    )
+    n_stacks = prof.write_collapsed(cprofile, prefix + ".collapsed")
+    prof.write_pstats(cprofile, prefix + ".pstats")
+    print(profile.headline())
+    print()
+    print(profile.to_markdown(top=10))
+    print(
+        f"wrote kernel profile to {prefix}.json, {n_stacks} collapsed "
+        f"stacks to {prefix}.collapsed, raw pstats to {prefix}.pstats"
+    )
+
+
 def _summary_markdown(result: schema.BenchResult) -> str:
     lines = [
         f"## bench run: {result.scale} scale, {result.repeats} repeat(s), "
         f"jobs={result.jobs}",
         "",
         "| scenario | points | sim elapsed (s) | moved (MB) | requests "
-        "| wall median (s) | wall spread (s) |",
-        "|---|---|---|---|---|---|---|",
+        "| events | wall median (s) | wall spread (s) | SSR |",
+        "|---|---|---|---|---|---|---|---|---|",
     ]
     for sc in result.scenarios:
         lines.append(
             f"| {sc.name} | {sc.sim.n_points} | {sc.sim.elapsed_s:.6f} "
             f"| {sc.sim.moved_bytes / 1e6:.2f} | {sc.sim.logical_requests} "
-            f"| {sc.wall.median_s:.3f} "
-            f"| {sc.wall.min_s:.3f}..{sc.wall.max_s:.3f} |"
+            f"| {sc.wall.events} | {sc.wall.median_s:.3f} "
+            f"| {sc.wall.min_s:.3f}..{sc.wall.max_s:.3f} "
+            f"| {sc.wall.ssr:.3f} |"
         )
     return "\n".join(lines) + "\n"
 

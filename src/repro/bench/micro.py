@@ -80,6 +80,7 @@ class KernelChurnSpec(_MicroSpec):
             kind="sched",
             n_clients=self.n_procs,
             logical_requests=pool.total_requests,
+            sim_events=sim.events_scheduled,
         )
 
 
@@ -121,6 +122,7 @@ class NetStreamSpec(_MicroSpec):
             logical_requests=self.n_senders * self.messages,
             moved_bytes=int(counters.get("net.payload_bytes", total)),
             useful_bytes=total,
+            sim_events=sim.events_scheduled,
         )
 
 

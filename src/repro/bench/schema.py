@@ -28,6 +28,7 @@ from ..errors import BenchError, SchemaMismatchError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SimMetrics",
     "WallMetrics",
     "ScenarioResult",
@@ -37,7 +38,13 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the JSON layout below.
-SCHEMA_VERSION = 1
+#: Version 2 added ``events`` / ``sim_s`` / ``ssr`` to ``WallMetrics``;
+#: version-1 files are still readable (the new fields default to zero).
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load` accepts.  Older-but-supported files upgrade in
+#: memory; anything else fails loudly with :class:`SchemaMismatchError`.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -72,7 +79,17 @@ class SimMetrics:
 
 @dataclass(frozen=True)
 class WallMetrics:
-    """Host-clock statistics over N timed repeats of one scenario."""
+    """Host-clock statistics over N timed repeats of one scenario.
+
+    Besides the raw wall-clock spread, v2 records the scenario's kernel
+    throughput: ``events`` (deterministic count of events the simulator
+    scheduled), ``sim_s`` (simulated seconds covered — same value as the
+    zero-tolerance ``sim.elapsed_s``), and the derived ``ssr`` headline
+    (simulated seconds per wall second, ``sim_s / median_s``).  These
+    live here, not in :class:`SimMetrics`, because ``ssr`` depends on the
+    host clock and ``events`` is expected to drift under kernel rewrites
+    — neither belongs behind the zero-tolerance gate.
+    """
 
     median_s: float
     mean_s: float
@@ -80,9 +97,17 @@ class WallMetrics:
     min_s: float
     max_s: float
     repeats: int
+    #: Events scheduled by the simulator(s) of one execution (v2).
+    events: int = 0
+    #: Simulated seconds covered by one execution (v2).
+    sim_s: float = 0.0
+    #: Simulated seconds per wall second, ``sim_s / median_s`` (v2).
+    ssr: float = 0.0
 
     @classmethod
-    def from_samples(cls, samples: List[float]) -> "WallMetrics":
+    def from_samples(
+        cls, samples: List[float], *, events: int = 0, sim_s: float = 0.0
+    ) -> "WallMetrics":
         if not samples:
             raise BenchError("wall metrics need at least one timed sample")
         ordered = sorted(samples)
@@ -98,6 +123,9 @@ class WallMetrics:
             min_s=ordered[0],
             max_s=ordered[-1],
             repeats=n,
+            events=int(events),
+            sim_s=float(sim_s),
+            ssr=(float(sim_s) / median if median > 0 else 0.0),
         )
 
 
@@ -109,6 +137,22 @@ class ScenarioResult:
     family: str  # "artificial" | "flash" | "tiled" | "collective" | "micro"
     sim: SimMetrics
     wall: WallMetrics
+
+
+def _wall_from_json(data: Dict[str, Any]) -> WallMetrics:
+    """Backward-compatible :class:`WallMetrics` reader: version-1 files
+    lack ``events`` / ``sim_s`` / ``ssr``, which default to zero."""
+    return WallMetrics(
+        median_s=data["median_s"],
+        mean_s=data["mean_s"],
+        std_s=data["std_s"],
+        min_s=data["min_s"],
+        max_s=data["max_s"],
+        repeats=data["repeats"],
+        events=int(data.get("events", 0)),
+        sim_s=float(data.get("sim_s", 0.0)),
+        ssr=float(data.get("ssr", 0.0)),
+    )
 
 
 @dataclass
@@ -144,10 +188,11 @@ class BenchResult:
             version = data["schema_version"]
         except (TypeError, KeyError):
             raise SchemaMismatchError("not a bench result file: missing schema_version") from None
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise SchemaMismatchError(
-                f"bench schema version {version} != supported {SCHEMA_VERSION}; "
-                "refresh the file with 'pvfs-sim bench run'"
+                f"bench schema version {version} not in supported "
+                f"{SUPPORTED_SCHEMA_VERSIONS}; refresh the file with "
+                "'pvfs-sim bench run'"
             )
         try:
             scenarios = [
@@ -155,14 +200,14 @@ class BenchResult:
                     name=sc["name"],
                     family=sc["family"],
                     sim=SimMetrics(**sc["sim"]),
-                    wall=WallMetrics(**sc["wall"]),
+                    wall=_wall_from_json(sc["wall"]),
                 )
                 for sc in data["scenarios"]
             ]
             return cls(
                 scale=data["scale"],
                 scenarios=scenarios,
-                schema_version=version,
+                schema_version=SCHEMA_VERSION,
                 created=data.get("created", ""),
                 host=dict(data.get("host", {})),
                 code_fingerprint=data.get("code_fingerprint", ""),

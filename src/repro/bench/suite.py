@@ -31,7 +31,14 @@ from ..sweep import MpiioSpec, PointSpec, run_sweep
 from .micro import DiskRunsSpec, KernelChurnSpec, NetStreamSpec
 from .schema import BenchResult, ScenarioResult, SimMetrics, WallMetrics
 
-__all__ = ["Scenario", "SUITE", "scenario_names", "build_specs", "run_suite"]
+__all__ = [
+    "Scenario",
+    "SUITE",
+    "scenario_names",
+    "build_specs",
+    "run_suite",
+    "profile_suite",
+]
 
 
 @dataclass(frozen=True)
@@ -208,6 +215,7 @@ def run_suite(
     repeats: int = 3,
     jobs: int = 1,
     cache=None,
+    metrics=None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> BenchResult:
     """Run the suite; return a schema-versioned :class:`BenchResult`.
@@ -238,15 +246,24 @@ def run_suite(
         specs = scenario.specs(scale)
         walls: List[float] = []
         sim: Optional[SimMetrics] = None
+        events = 0
         for repeat in range(repeats):
             t0 = time.perf_counter()
             points, _stats = run_sweep(
-                specs, jobs=jobs, cache=cache, label=f"bench/{scenario.name}"
+                specs,
+                jobs=jobs,
+                cache=cache,
+                # Fold metrics from the first repeat only: later repeats
+                # are bit-identical, and double-counting would make the
+                # registry depend on ``repeats``.
+                metrics=metrics if repeat == 0 else None,
+                label=f"bench/{scenario.name}",
             )
             walls.append(time.perf_counter() - t0)
             agg = SimMetrics.from_points(points)
             if sim is None:
                 sim = agg
+                events = sum(getattr(p, "sim_events", 0) for p in points)
             elif agg != sim:
                 raise BenchError(
                     f"scenario {scenario.name!r} is not deterministic: repeat "
@@ -258,7 +275,7 @@ def run_suite(
                 name=scenario.name,
                 family=scenario.family,
                 sim=sim,
-                wall=WallMetrics.from_samples(walls),
+                wall=WallMetrics.from_samples(walls, events=events, sim_s=sim.elapsed_s),
             )
         )
 
@@ -278,6 +295,68 @@ def run_suite(
         jobs=jobs,
         cache_enabled=cache is not None,
     )
+
+
+def profile_suite(
+    scale: Scale,
+    *,
+    scenarios: Optional[Sequence[str]] = None,
+    expected: Optional[BenchResult] = None,
+    metrics=None,
+    obs=None,
+    progress: Optional[Callable[[str], None]] = None,
+):
+    """Run the selected scenarios once, serially, under the kernel profiler.
+
+    Returns ``(profile, per_scenario)``: the frozen
+    :class:`~repro.obs.prof.KernelProfile` covering every simulator the
+    run constructed, and a name → :class:`SimMetrics` map.  When
+    ``expected`` (a timed :class:`BenchResult` from the same scale) is
+    given, each scenario's simulated metrics are cross-checked against
+    the recorded ones — the profiler is passive, so any divergence is a
+    determinism bug and raises :class:`~repro.errors.BenchError`.
+    ``metrics`` / ``obs`` ride along on the same single pass, so one
+    profiled run can also yield the metrics JSONL and a trace.
+    """
+    from ..obs.prof import KernelProfiler, profiled
+
+    say = progress or (lambda _msg: None)
+    if scenarios is None:
+        selected = list(SUITE)
+    else:
+        selected = []
+        for name in scenarios:
+            if name not in _BY_NAME:
+                known = ", ".join(scenario_names())
+                raise BenchError(f"unknown scenario {name!r} (suite: {known})")
+            selected.append(_BY_NAME[name])
+
+    profiler = KernelProfiler()
+    per_scenario: Dict[str, SimMetrics] = {}
+    with profiled(profiler):
+        for scenario in selected:
+            specs = scenario.specs(scale)
+            points, _stats = run_sweep(
+                specs,
+                jobs=1,
+                metrics=metrics,
+                obs=obs if scenario.family != "micro" else None,
+                label=f"profile/{scenario.name}",
+            )
+            per_scenario[scenario.name] = SimMetrics.from_points(points)
+            say(f"[profile] {scenario.name}: {len(points)} point(s)")
+    if expected is not None:
+        for name, sim in per_scenario.items():
+            try:
+                recorded = expected.scenario(name).sim
+            except KeyError:
+                continue
+            if sim != recorded:
+                raise BenchError(
+                    f"profiled run of {name!r} diverged from the timed run "
+                    f"({sim} != {recorded}) — the profiler must stay passive"
+                )
+    return profiler.profile(), per_scenario
 
 
 def capture_slowest(result: BenchResult, scale_name: str, obs) -> Optional[str]:

@@ -109,6 +109,12 @@ def _parser() -> argparse.ArgumentParser:
         "(DES mode only)",
     )
     p.add_argument(
+        "--metrics-out",
+        metavar="FILE.jsonl",
+        help="export per-figure metrics (counters, histograms) as JSONL; "
+        "summarize with 'pvfs-sim obs FILE.jsonl'",
+    )
+    p.add_argument(
         "--straggler",
         action="append",
         metavar="IDX:SCALE",
@@ -162,6 +168,11 @@ def main(argv: List[str] | None = None) -> int:
         from ..bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # `pvfs-sim profile ...` — kernel + host profiling (SSR headline).
+        from ..obs.profcli import main as profile_main
+
+        return profile_main(argv[1:])
     args = _parser().parse_args(argv)
     scale = SCALES[args.scale]
     mode = args.mode or ("model" if not scale.des_friendly else "des")
@@ -218,6 +229,11 @@ def main(argv: List[str] | None = None) -> int:
         from ..sweep import ResultCache, default_cache_dir
 
         cache = ResultCache(args.cache_dir or default_cache_dir())
+    metrics = None
+    if args.metrics_out:
+        from ..obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     figures = sorted(FIGURES, key=int) if args.all else [args.figure]
     all_points = []
     failed = False
@@ -225,6 +241,8 @@ def main(argv: List[str] | None = None) -> int:
         result = _run_one(
             fig, args.scale, mode, obs=obs, faults=faults, jobs=args.jobs, cache=cache
         )
+        if metrics is not None:
+            metrics.record_sweep(f"fig{fig}", result.points)
         print(result.markdown())
         if result.sweep_stats is not None:
             print(result.sweep_stats.summary_line())
@@ -239,6 +257,12 @@ def main(argv: List[str] | None = None) -> int:
         with open(args.csv, "w") as fh:
             fh.write(points_to_csv(all_points))
         print(f"wrote {len(all_points)} points to {args.csv}")
+    if metrics is not None:
+        metrics.write_jsonl(args.metrics_out)
+        print(
+            f"wrote metrics for {len(figures)} figure(s) to {args.metrics_out} "
+            f"(summarize with 'pvfs-sim obs {args.metrics_out}')"
+        )
     if obs is not None and obs.runs:
         best = obs.best_run()
         if args.report:

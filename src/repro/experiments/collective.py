@@ -85,6 +85,7 @@ def _mpiio_point(
         server_messages=res.total_server_messages,
         useful_bytes=n_ranks * nbytes,
         moved_bytes=int(res.counters.get("net.payload_bytes", 0)),
+        sim_events=cluster.sim.events_scheduled,
     )
 
 

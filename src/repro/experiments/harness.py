@@ -50,6 +50,10 @@ class DataPoint:
     #: Per-category span statistics (``Tracer.summary()``) when the point
     #: ran with ``trace=True``; None otherwise.
     trace_summary: Optional[Dict[str, Dict[str, float]]] = None
+    #: Events the DES kernel scheduled for this point — a deterministic
+    #: churn measure (0 in model mode, which runs no kernel).  Feeds the
+    #: events/SSR accounting in ``repro.bench`` and ``repro.obs.prof``.
+    sim_events: int = 0
 
     @property
     def wasted_bytes(self) -> int:
@@ -128,6 +132,7 @@ def des_point(
         first.elapsed = mean
         first.elapsed_std = var**0.5
         first.repeats = repeats
+        first.sim_events = sum(p.sim_events for p in points)
         return first
     cluster = Cluster.build(cfg, move_bytes=False, trace=trace or obs is not None)
     if obs is not None:
@@ -182,6 +187,7 @@ def des_point(
         server_messages=result.total_server_messages,
         moved_bytes=moved,
         useful_bytes=useful,
+        sim_events=cluster.sim.events_scheduled,
     )
     if measure_phases:
         point.phases = {k: max(v) for k, v in phase_times.items() if v}

@@ -1,0 +1,582 @@
+"""``repro.obs.metrics`` — a passive metrics registry with time series.
+
+Three instrument kinds plus epoch-sampled series, all pure bookkeeping
+(recording a metric never advances simulated time, so metered runs stay
+bit-identical to unmetered ones):
+
+* :class:`Counter` — monotonically accumulating totals (bytes moved,
+  requests served, fault retries);
+* :class:`Gauge` — last-write-wins level readings (peak queue depth);
+* :class:`Histogram` — fixed-bucket distributions with interpolated
+  quantiles (span durations, per-point elapsed times).  Fixed bucket
+  boundaries make histograms mergeable bucket-by-bucket, which is what
+  keeps the sweep-worker merge deterministic;
+* :class:`Series` — ``(time, value)`` samples, one per epoch (NIC/disk
+  utilization, inbox depth, bytes on the wire per epoch).
+
+:class:`MetricsRegistry` owns the instruments and offers two builders:
+
+* :meth:`MetricsRegistry.record_sweep` folds a sweep's point results (in
+  spec order, so ``--jobs 1`` and ``--jobs 4`` merge identically) into
+  counters and histograms;
+* :func:`from_capture` derives per-resource epoch series and span
+  histograms from an :class:`~repro.obs.session.RunCapture` — kernel,
+  network, disk, IOD, client, and fault signals in one registry.
+
+Export is schema-versioned JSONL (:data:`METRICS_SCHEMA_VERSION`, one
+JSON object per line, header first) readable by :func:`load_jsonl` and
+summarized by ``pvfs-sim obs FILE.jsonl``; :func:`perfetto_counter_events`
+renders every series as Perfetto counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "from_capture",
+    "load_jsonl",
+    "perfetto_counter_events",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+]
+
+#: Bump on any incompatible change to the JSONL layout.
+METRICS_SCHEMA_VERSION = 1
+
+#: 1-2-5 ladder from 100 ns to 1000 s — covers every span duration the
+#: simulator produces, from single-frame NIC occupancy to whole runs.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-7, 3) for m in (1.0, 2.0, 5.0)
+)
+
+#: Powers of four from 1 B to 1 GiB for byte-sized distributions.
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = tuple(float(4**k) for k in range(16))
+
+
+class Counter:
+    """A monotonically accumulating total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": "counter", "name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """A last-write-wins level reading."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        # Gauges merge as max: the peak reading survives a worker merge.
+        self.set_max(other.value)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": "gauge", "name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``bounds`` are ascending bucket *upper* bounds; an implicit overflow
+    bucket catches everything above the last bound.  Because the bounds
+    are fixed at construction, two histograms with the same bounds merge
+    by elementwise bucket addition — no resampling, no order dependence.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError(f"histogram {name!r} needs ascending bucket bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.counts[self._bucket(value)] += 1
+
+    def _bucket(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = max(self.bounds[i - 1] if i > 0 else 0.0, self.min)
+                # Clamp to the observed range: a sparse bucket's upper
+                # bound can sit far above the largest value it holds.
+                hi = min(self.bounds[i], self.max) if i < len(self.bounds) else self.max
+                lo, hi = min(lo, hi), max(lo, hi)
+                frac = (target - cumulative) / n
+                return lo + frac * (hi - lo)
+            cumulative += n
+        return self.max  # pragma: no cover - defensive
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ConfigError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "quantiles": {
+                "p50": self.quantile(0.50),
+                "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
+
+
+class Series:
+    """Epoch-sampled ``(time, value)`` pairs for one signal."""
+
+    __slots__ = ("name", "unit", "samples")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, t: float, value: float) -> None:
+        self.samples.append((t, value))
+
+    def merge(self, other: "Series") -> None:
+        self.samples = sorted(self.samples + other.samples)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": "series",
+            "name": self.name,
+            "unit": self.unit,
+            "samples": [[t, v] for t, v in self.samples],
+        }
+
+    def __repr__(self) -> str:
+        return f"<Series {self.name} samples={len(self.samples)}>"
+
+
+class MetricsRegistry:
+    """Named instruments plus the sweep/capture builders.
+
+    Instruments are created on first use (``registry.counter("x").inc()``)
+    and addressed by dotted name.  :meth:`merge` folds another registry in
+    — counters add, gauges take the max, histograms add bucketwise, series
+    interleave by time — and :meth:`snapshot` renders a canonical, sorted,
+    JSON-able structure two deterministic runs compare ``==`` on.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, Series] = {}
+
+    # -- instrument access ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    def series(self, name: str, unit: str = "") -> Series:
+        if name not in self._series:
+            self._series[name] = Series(name, unit)
+        return self._series[name]
+
+    @property
+    def counters(self) -> List[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    @property
+    def gauges(self) -> List[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    @property
+    def histograms(self) -> List[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    @property
+    def all_series(self) -> List[Series]:
+        return [self._series[k] for k in sorted(self._series)]
+
+    def top_counters(self, n: int = 10) -> List[Counter]:
+        """The ``n`` hottest counters, largest value first (name-stable)."""
+        ranked = sorted(self._counters.values(), key=lambda c: (-c.value, c.name))
+        return ranked[:n]
+
+    # -- builders --------------------------------------------------------
+    def record_sweep(self, label: str, results: Iterable[Any]) -> None:
+        """Fold one sweep's point results into counters + histograms.
+
+        ``results`` must be in *spec order* (the engine guarantees it), so
+        the fold is independent of which worker computed which point —
+        the ``--jobs 1`` and ``--jobs 4`` merges are bit-identical.
+        """
+        scope = f"sweep.{label or '(unnamed)'}"
+        elapsed_h = self.histogram("point.elapsed_s", DEFAULT_TIME_BUCKETS)
+        moved_h = self.histogram("point.moved_bytes", DEFAULT_BYTE_BUCKETS)
+        for result in results:
+            elapsed = float(
+                getattr(result, "elapsed", 0.0) or getattr(result, "faulty_s", 0.0)
+            )
+            moved = float(getattr(result, "moved_bytes", 0))
+            self.counter(f"{scope}.points").inc()
+            self.counter(f"{scope}.sim_s").inc(elapsed)
+            self.counter(f"{scope}.moved_bytes").inc(moved)
+            self.counter(f"{scope}.useful_bytes").inc(
+                float(getattr(result, "useful_bytes", 0))
+            )
+            self.counter(f"{scope}.logical_requests").inc(
+                float(getattr(result, "logical_requests", 0))
+            )
+            self.counter(f"{scope}.server_messages").inc(
+                float(getattr(result, "server_messages", 0))
+            )
+            self.counter(f"{scope}.events").inc(
+                float(getattr(result, "sim_events", 0))
+            )
+            retries = getattr(result, "retries", None)
+            if retries:
+                self.counter(f"{scope}.fault_retries").inc(float(retries))
+            elapsed_h.observe(elapsed)
+            moved_h.observe(moved)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (commutative per instrument)."""
+        for c in other._counters.values():
+            self.counter(c.name).merge(c)
+        for g in other._gauges.values():
+            self.gauge(g.name).merge(g)
+        for h in other._histograms.values():
+            self.histogram(h.name, h.bounds).merge(h)
+        for s in other._series.values():
+            self.series(s.name, s.unit).merge(s)
+        return self
+
+    # -- output ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Canonical, sorted, JSON-able view (deterministic ``==``)."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "counters": {c.name: c.value for c in self.counters},
+            "gauges": {g.name: g.value for g in self.gauges},
+            "histograms": [h.to_json() for h in self.histograms],
+            "series": [s.to_json() for s in self.all_series],
+        }
+
+    def to_jsonl(self) -> str:
+        """Schema-versioned JSONL: header line, then one object per metric."""
+        lines = [
+            json.dumps(
+                {
+                    "kind": "header",
+                    "tool": "pvfs-sim-metrics",
+                    "schema_version": METRICS_SCHEMA_VERSION,
+                    "label": self.label,
+                },
+                sort_keys=True,
+            )
+        ]
+        for c in self.counters:
+            lines.append(json.dumps(c.to_json(), sort_keys=True))
+        for g in self.gauges:
+            lines.append(json.dumps(g.to_json(), sort_keys=True))
+        for h in self.histograms:
+            lines.append(json.dumps(h.to_json(), sort_keys=True))
+        for s in self.all_series:
+            lines.append(json.dumps(s.to_json(), sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)} "
+            f"series={len(self._series)}>"
+        )
+
+
+def load_jsonl(path: str) -> Dict[str, Any]:
+    """Read a metrics JSONL file back into plain dicts.
+
+    Returns ``{"header": ..., "counters": {...}, "gauges": {...},
+    "histograms": [...], "series": [...]}``.  Raises :class:`ValueError`
+    on a missing/foreign header or an unsupported schema version.
+    """
+    with open(path) as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty — not a metrics JSONL file")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("tool") != "pvfs-sim-metrics":
+        raise ValueError(f"{path} is not a pvfs-sim metrics JSONL file")
+    version = header.get("schema_version")
+    if version != METRICS_SCHEMA_VERSION:
+        raise ValueError(
+            f"metrics schema version {version} != supported {METRICS_SCHEMA_VERSION}"
+        )
+    out: Dict[str, Any] = {
+        "header": header,
+        "counters": {},
+        "gauges": {},
+        "histograms": [],
+        "series": [],
+    }
+    for line in lines[1:]:
+        obj = json.loads(line)
+        kind = obj.get("kind")
+        if kind == "counter":
+            out["counters"][obj["name"]] = obj["value"]
+        elif kind == "gauge":
+            out["gauges"][obj["name"]] = obj["value"]
+        elif kind == "histogram":
+            out["histograms"].append(obj)
+        elif kind == "series":
+            out["series"].append(obj)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RunCapture -> registry: epoch series and span histograms per layer.
+# ---------------------------------------------------------------------------
+
+#: Span categories whose counts are fault/survival signals.
+_FAULT_CATEGORIES = (
+    "fault.crash",
+    "fault.disk_stall",
+    "fault.link_down",
+    "fault.packet_loss",
+    "client.timeout",
+    "client.retry_backoff",
+    "net.link_stall",
+)
+
+#: Epochs per capture window when the caller does not pick a width.
+_DEFAULT_EPOCHS = 50
+
+
+def _epoch_edges(t0: float, t1: float, epoch_s: Optional[float]) -> List[float]:
+    if t1 <= t0:
+        return [t0, t0]
+    width = epoch_s if epoch_s and epoch_s > 0 else (t1 - t0) / _DEFAULT_EPOCHS
+    edges = [t0]
+    while edges[-1] < t1:
+        edges.append(min(edges[-1] + width, t1))
+    return edges
+
+
+def _aggregate_counter_key(key: str) -> Optional[str]:
+    """Collapse a per-node simulation counter key to a fleet aggregate.
+
+    ``client.3.logical_requests`` -> ``sim.client.logical_requests``,
+    ``iod.0.write_bytes`` -> ``sim.iod.write_bytes``,
+    ``manager.op.lookup`` -> ``sim.manager.ops``,
+    ``net.payload_bytes`` -> ``sim.net.payload_bytes``,
+    ``faults.crashes`` -> ``sim.faults.crashes``.
+    """
+    parts = key.split(".")
+    if parts[0] in ("client", "iod") and len(parts) >= 3 and parts[1].isdigit():
+        return f"sim.{parts[0]}." + ".".join(parts[2:])
+    if parts[0] == "manager":
+        return "sim.manager.ops"
+    if parts[0] in ("net", "faults"):
+        return f"sim.{key}"
+    return None
+
+
+def from_capture(
+    capture,
+    *,
+    epoch_s: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Derive a metrics registry from one captured run.
+
+    Produces, per layer:
+
+    * **network / disk / IOD / client** — a ``util.<resource>`` series
+      (busy fraction per epoch) from every busy/idle monitor, plus total
+      ``busy_s.<resource>`` counters;
+    * **queues** — ``queue.<inbox>`` mean-depth series and a peak gauge;
+    * **wire and platters** — ``net.bytes_per_epoch`` / ``disk.bytes_per_epoch``
+      series from the span metadata;
+    * **spans** — a duration histogram per category
+      (``span.<category>.s``) with interpolated quantiles;
+    * **faults** — ``faults.<category>`` retry/crash counters;
+    * **simulation totals** — ``sim.*`` aggregates of the cluster's
+      counters (bytes on the wire, logical requests, manager ops).
+    """
+    reg = registry if registry is not None else MetricsRegistry(label=capture.label)
+    t0, t1 = capture.t0, capture.t1
+    edges = _epoch_edges(t0, t1, epoch_s)
+
+    for name in sorted(capture.monitors):
+        mon = capture.monitors[name]
+        if mon.kind == "queue":
+            depth = reg.series(f"queue.{name}", unit="requests")
+            for lo, hi in zip(edges, edges[1:]):
+                depth.record(hi, mon.queue_mean(lo, hi))
+            reg.gauge(f"queue.{name}.peak").set_max(mon.queue_depth.max_value())
+            continue
+        util = reg.series(f"util.{name}", unit="fraction")
+        for lo, hi in zip(edges, edges[1:]):
+            util.record(hi, mon.utilization(lo, hi))
+        reg.counter(f"busy_s.{name}").inc(mon.busy_within(t0, t1))
+
+    net_bytes = reg.series("net.bytes_per_epoch", unit="bytes")
+    disk_bytes = reg.series("disk.bytes_per_epoch", unit="bytes")
+    net_acc = [0.0] * max(len(edges) - 1, 1)
+    disk_acc = [0.0] * max(len(edges) - 1, 1)
+
+    def epoch_index(t: float) -> int:
+        for i, hi in enumerate(edges[1:]):
+            if t <= hi:
+                return i
+        return len(net_acc) - 1
+
+    for span in capture.spans:
+        reg.histogram(f"span.{span.category}.s", DEFAULT_TIME_BUCKETS).observe(
+            span.duration
+        )
+        meta = dict(span.meta)
+        if span.category == "net.xfer":
+            net_acc[epoch_index(span.end)] += float(meta.get("payload_bytes", 0))
+        elif span.category == "disk.busy":
+            disk_acc[epoch_index(span.end)] += float(meta.get("nbytes", 0))
+    for i, hi in enumerate(edges[1:]):
+        net_bytes.record(hi, net_acc[i])
+        disk_bytes.record(hi, disk_acc[i])
+
+    for category, stats in sorted(capture.summary.items()):
+        if category in _FAULT_CATEGORIES:
+            reg.counter(f"faults.{category}").inc(stats.get("count", 0.0))
+
+    for key, value in sorted(getattr(capture, "counters", {}).items()):
+        agg = _aggregate_counter_key(key)
+        if agg is not None:
+            reg.counter(agg).inc(float(value))
+    return reg
+
+
+def perfetto_counter_events(
+    registry: MetricsRegistry, pid: int
+) -> List[Dict[str, Any]]:
+    """Render every series as Perfetto counter events (``ph: "C"``) on
+    process ``pid`` — one counter track per series, microsecond stamps."""
+    events: List[Dict[str, Any]] = []
+    for series in registry.all_series:
+        for t, value in series.samples:
+            events.append(
+                {
+                    "name": series.name,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "args": {series.unit or "value": value},
+                }
+            )
+    return events

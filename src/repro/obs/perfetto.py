@@ -146,8 +146,14 @@ def _span_lane(span) -> Optional[Tuple[str, str]]:
     return None
 
 
-def build_trace(capture) -> Dict[str, Any]:
-    """Render one :class:`~repro.obs.session.RunCapture` as a trace dict."""
+def build_trace(capture, metrics=None) -> Dict[str, Any]:
+    """Render one :class:`~repro.obs.session.RunCapture` as a trace dict.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) adds one
+    Perfetto counter track per epoch-sampled series on a dedicated
+    ``metrics`` process lane — utilization, queue depths, and bytes per
+    epoch plot as graphs above the span timelines.
+    """
     lanes = _Lanes()
     events: List[dict] = []
     for span in capture.spans:
@@ -203,6 +209,10 @@ def build_trace(capture) -> Dict[str, Any]:
                     "args": {"depth": depth},
                 }
             )
+    if metrics is not None:
+        from .metrics import perfetto_counter_events
+
+        events.extend(perfetto_counter_events(metrics, lanes.pid("metrics")))
     events.sort(key=lambda e: (e["ts"], e["pid"], e.get("tid", 0)))
     report = capture.report()
     return {
@@ -220,9 +230,9 @@ def build_trace(capture) -> Dict[str, Any]:
     }
 
 
-def write_trace(capture, path: str) -> Dict[str, Any]:
+def write_trace(capture, path: str, metrics=None) -> Dict[str, Any]:
     """Serialize :func:`build_trace` output to ``path``; returns the dict."""
-    doc = build_trace(capture)
+    doc = build_trace(capture, metrics=metrics)
     with open(path, "w") as fh:
         json.dump(doc, fh)
     return doc

@@ -1,0 +1,196 @@
+"""``pvfs-sim profile`` — explain where every wall-second goes.
+
+::
+
+    pvfs-sim profile --scenario micro_kernel_churn
+    pvfs-sim profile --scale smoke --out prof --top 20
+    pvfs-sim profile --scenario fig09_cyclic_read \
+        --metrics-out metrics.jsonl --trace-out trace.json
+    pvfs-sim profile --list
+
+Runs the selected benchmark-suite scenarios (default: the whole suite)
+once, serially, under the kernel profiler (:mod:`repro.obs.prof`) and —
+unless ``--no-cprofile`` — under :mod:`cProfile`.  Prints the SSR
+headline (simulated seconds per wall second) and the per-handler
+wall-time table, and writes:
+
+* ``<out>.json`` — the kernel profile (handler table, heap stats, SSR);
+* ``<out>.collapsed`` — collapsed stacks for ``flamegraph.pl`` /
+  speedscope (skipped under ``--no-cprofile``);
+* ``<out>.pstats`` — the raw :mod:`pstats` dump (same condition).
+
+``--metrics-out`` folds the run's sweep results into a metrics registry
+and exports it as JSONL; ``--trace-out`` attaches an
+:class:`~repro.obs.ObsSession` to the same pass (jobs=1, so captures are
+live) and writes the dominating run's Perfetto trace with the registry's
+counter tracks embedded.  All of it is passive: the profiled run's
+simulated metrics are bit-identical to an unprofiled run's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import BenchError
+from ..experiments.presets import SCALES
+
+__all__ = ["main"]
+
+
+def _des_scales() -> List[str]:
+    return sorted(name for name, s in SCALES.items() if s.des_friendly)
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="pvfs-sim profile",
+        description="Kernel + host profiling over the benchmark suite",
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="profile only this suite scenario (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--scale",
+        choices=_des_scales(),
+        default="smoke",
+        help="parameter scale (default: smoke)",
+    )
+    p.add_argument(
+        "--out",
+        default="profile",
+        metavar="PREFIX",
+        help="output prefix for .json/.collapsed/.pstats (default: profile)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="handler-table rows to print (default: 15)",
+    )
+    p.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="skip the cProfile pass (no .collapsed/.pstats; less host "
+        "overhead, kernel accounting only)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE.jsonl",
+        help="also export the run's metrics registry as JSONL",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        help="also write the dominating run's Perfetto trace (with metrics "
+        "counter tracks when --metrics-out is given)",
+    )
+    p.add_argument("--list", action="store_true", help="list profilable scenarios and exit")
+    return p
+
+
+def _list_scenarios() -> int:
+    from ..bench.suite import SUITE
+
+    lines = ["| scenario | family | description |", "|---|---|---|"]
+    for scenario in SUITE:
+        lines.append(f"| {scenario.name} | {scenario.family} | {scenario.description} |")
+    print("\n".join(lines))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        return _list_scenarios()
+    if args.top < 1:
+        print("error: --top must be >= 1", file=sys.stderr)
+        return 2
+
+    from ..bench.suite import profile_suite
+    from . import prof
+
+    metrics = None
+    if args.metrics_out:
+        from .metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    obs = None
+    if args.trace_out:
+        from .session import ObsSession
+
+        obs = ObsSession()
+
+    scale = SCALES[args.scale]
+    try:
+        if args.no_cprofile:
+            profile, per_scenario = profile_suite(
+                scale, scenarios=args.scenario, metrics=metrics, obs=obs, progress=print
+            )
+            cprofile = None
+        else:
+            (profile, per_scenario), cprofile = prof.capture_cprofile(
+                profile_suite,
+                scale,
+                scenarios=args.scenario,
+                metrics=metrics,
+                obs=obs,
+                progress=print,
+            )
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print()
+    print(profile.headline())
+    print()
+    print(profile.to_markdown(top=args.top))
+
+    prof.save_profile_json(
+        profile,
+        args.out + ".json",
+        scale=args.scale,
+        scenarios=args.scenario or "all",
+    )
+    written = [args.out + ".json"]
+    if cprofile is not None:
+        print("## hottest host functions (cProfile)")
+        print()
+        print(prof.top_functions_markdown(cprofile, n=args.top))
+        n_stacks = prof.write_collapsed(cprofile, args.out + ".collapsed")
+        prof.write_pstats(cprofile, args.out + ".pstats")
+        written += [
+            f"{args.out}.collapsed ({n_stacks} stacks)",
+            args.out + ".pstats",
+        ]
+    if metrics is not None and obs is not None and obs.runs:
+        # Fold the dominating captured run's epoch series (utilization,
+        # queue depths, bytes per epoch) into the sweep-level registry.
+        from .metrics import from_capture
+
+        from_capture(obs.best_run(), registry=metrics)
+    if metrics is not None:
+        metrics.write_jsonl(args.metrics_out)
+        written.append(args.metrics_out)
+    if obs is not None:
+        if obs.runs:
+            obs.export_trace(args.trace_out, obs.best_run(), metrics=metrics)
+            written.append(args.trace_out)
+        else:
+            print(
+                "no traceable scenario selected (micro scenarios have no "
+                "cluster to monitor); skipping trace export",
+                file=sys.stderr,
+            )
+    print(f"wrote {', '.join(written)}")
+    print(f"scenarios profiled: {', '.join(sorted(per_scenario))}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -32,12 +32,19 @@ Example::
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .events import AllOf, AnyOf, Event, Timeout
 
 __all__ = ["Simulator", "Process"]
+
+#: Module-level profiler armed by :func:`repro.obs.prof.profiled`; every
+#: Simulator constructed while it is set adopts it.  The profiler only
+#: *reads* the kernel (event kinds, heap length, host clocks), so profiled
+#: runs stay bit-identical to unprofiled ones.
+_ACTIVE_PROFILER = None
 
 
 class Process(Event):
@@ -176,6 +183,11 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._running = False
+        #: Optional :class:`~repro.obs.prof.KernelProfiler` (read-only
+        #: observer of the dispatch loop; ``None`` = zero overhead).
+        self.profiler = _ACTIVE_PROFILER
+        if self.profiler is not None:
+            self.profiler.on_sim(self)
 
     # -- primitives -----------------------------------------------------
     def event(self) -> Event:
@@ -203,6 +215,13 @@ class Simulator:
             raise SimulationError("cannot schedule into the past")
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
         self._seq += 1
+        if self.profiler is not None:
+            self.profiler.on_push(self, len(self._heap))
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever enqueued — a deterministic churn measure."""
+        return self._seq
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the heap is empty."""
@@ -216,7 +235,12 @@ class Simulator:
         if t < self.now:  # pragma: no cover - defensive
             raise SimulationError("event heap time went backwards")
         self.now = t
-        event._run_callbacks()
+        if self.profiler is None:
+            event._run_callbacks()
+        else:
+            _w0 = perf_counter()
+            event._run_callbacks()
+            self.profiler.on_event(self, event, perf_counter() - _w0)
         if not event.ok and not event._defused:
             exc = event.value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))

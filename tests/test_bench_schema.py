@@ -60,6 +60,35 @@ def test_wall_metrics_statistics():
     assert odd.median_s == 2.0
 
 
+def test_wall_metrics_ssr_derivation():
+    wall = WallMetrics.from_samples([0.5], events=1000, sim_s=2.0)
+    assert wall.events == 1000
+    assert wall.sim_s == 2.0
+    assert wall.ssr == pytest.approx(4.0)
+    # Degenerate median: SSR reported as zero rather than dividing by it.
+    zero = WallMetrics.from_samples([0.0], sim_s=1.0)
+    assert zero.ssr == 0.0
+
+
+def test_version1_files_still_load(tmp_path):
+    """A committed v1 baseline (no events/sim_s/ssr) upgrades in memory."""
+    path = str(tmp_path / "BENCH_v1.json")
+    save(_result(), path)
+    with open(path) as fh:
+        data = json.load(fh)
+    data["schema_version"] = 1
+    for sc in data["scenarios"]:
+        for key in ("events", "sim_s", "ssr"):
+            del sc["wall"][key]
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    upgraded = load(path)
+    assert upgraded.schema_version == SCHEMA_VERSION
+    wall = upgraded.scenario("s1").wall
+    assert (wall.events, wall.sim_s, wall.ssr) == (0, 0.0, 0.0)
+    assert wall.median_s == _result().scenario("s1").wall.median_s
+
+
 def test_wall_metrics_reject_empty():
     with pytest.raises(BenchError):
         WallMetrics.from_samples([])
