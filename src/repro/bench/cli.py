@@ -99,6 +99,13 @@ def _parser() -> argparse.ArgumentParser:
         help="serve sweep points from this result cache (off by default: "
         "cache hits would make the wall clock measure cache service)",
     )
+    run.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the kernel/NIC fast paths (exact legacy event chains; "
+        "simulated metrics are identical either way — this is the live "
+        "oracle for the fast-path equivalence guarantee)",
+    )
     run.add_argument("--quiet", action="store_true", help="suppress per-repeat progress lines")
 
     cmp_ = sub.add_parser("compare", help="diff two result files; exit 1 on regression")
@@ -123,6 +130,13 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def _run(args) -> int:
+    if args.no_fastpath:
+        import os
+
+        from ..simulate.fastpath import NO_FASTPATH_ENV
+
+        # Env (not a parameter) so spawned sweep workers inherit it too.
+        os.environ[NO_FASTPATH_ENV] = "1"
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
         return 2

@@ -72,6 +72,14 @@ class Network:
         #: ``net.xfer`` (time occupying the wire) spans.
         self.tracer = tracer
         self._nodes: Dict[str, Node] = {}
+        #: Analytic transfer fast path (inherits the kernel-wide switch so
+        #: ``--no-fastpath`` reaches every layer from one knob).
+        self._fastpath = sim.fastpath
+        #: payload -> (wire_bytes, fault-free duration).  Payload sizes are
+        #: highly repetitive (request headers, stripe-unit responses), so
+        #: the frame math runs once per distinct size.  Values are exactly
+        #: what the inline computation yields — same arithmetic, cached.
+        self._wire_cache: Dict[int, tuple] = {}
         # -- fault state (driven by repro.faults.FaultInjector) -----------
         #: node name -> simulated time its link comes back up.  Transfers
         #: touching a down node stall until then (TCP riding out a flap),
@@ -146,6 +154,11 @@ class Network:
                 break
             stalled = True
             yield sim.timeout(until - sim.now)
+        # Prune windows that have fully expired so the analytic fast path
+        # (disabled while any window is active) re-engages afterwards.
+        expired = [n for n, t in self._down_until.items() if t <= sim.now]
+        for n in expired:
+            del self._down_until[n]
         if stalled:
             yield sim.timeout(self.cfg.retransmit_timeout)
             self.counters.add("net.link_stalls")
@@ -190,33 +203,79 @@ class Network:
         if payload < 0:
             raise NetworkError(f"negative payload: {payload}")
         sim = self.sim
+        cdata = self.counters._data
         if src is dst:
             # Same physical node: kernel loopback, no NIC involvement.
             yield sim.timeout(_LOOPBACK_LATENCY + payload / _LOOPBACK_RATE)
-            self.counters.add("net.loopback_messages")
+            cdata["net.loopback_messages"] += 1.0
             return payload
-        wire = self.cfg.wire_bytes(payload)
-        duration = self.cfg.latency + self.cfg.transmit_time(payload)
+        cached = self._wire_cache.get(payload)
+        if cached is None:
+            cached = (
+                self.cfg.wire_bytes(payload),
+                self.cfg.latency + self.cfg.transmit_time(payload),
+            )
+            self._wire_cache[payload] = cached
+        wire, duration = cached
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
+        # Latched before the stall: a window active when the transfer
+        # starts forces the frame-level path even if it expires mid-stall.
+        fault_window = bool(self._down_until) or bool(self._frame_loss)
         if self._down_until:
             yield from self._await_links(src, dst, tracing)
         if self._frame_loss:
-            duration += self._loss_penalty(src, dst, payload)
+            duration = duration + self._loss_penalty(src, dst, payload)
         t_req = sim.now if tracing else 0.0
-        with src.tx.request() as t:
-            yield t
-            with dst.rx.request() as r:
-                yield r
-                if tracing:
+        # -- analytic fast path -------------------------------------------
+        # The legacy chain spends two delay-0 request/grant events per
+        # message.  When the heap is quiescent at the current timestamp
+        # (empty, or next event strictly later), nothing can dispatch
+        # between those delay-0 events, so claiming both links
+        # synchronously is order-identical — the whole transfer collapses
+        # to the single precomputed duration timeout.  FCFS is preserved:
+        # try_acquire never overtakes a waiter, and a busy link falls back
+        # to the ordinary queued request.  Any active fault window (link
+        # down or frame loss) forces the exact frame-level path outright.
+        t_tok = None
+        if self._fastpath and not fault_window:
+            heap = sim._heap
+            if not heap or heap[0][0] > sim.now:
+                t_tok = src.tx.try_acquire()
+        if t_tok is not None:
+            r_tok = dst.rx.try_acquire()
+            if r_tok is not None:
+                cdata["net.fastpath_messages"] += 1.0
+                t_hold = sim.now
+                try:
+                    yield sim.timeout(duration)
+                finally:
+                    # Release order matches the legacy nested context
+                    # managers: RX (inner) first, then TX.
+                    dst.rx.release(r_tok)
+                    src.tx.release(t_tok)
+            else:
+                # RX busy: queue for it the ordinary way, TX already held.
+                try:
+                    with dst.rx.request() as r:
+                        yield r
+                        t_hold = sim.now
+                        yield sim.timeout(duration)
+                finally:
+                    src.tx.release(t_tok)
+        else:
+            with src.tx.request() as t:
+                yield t
+                with dst.rx.request() as r:
+                    yield r
                     t_hold = sim.now
-                yield sim.timeout(duration)
+                    yield sim.timeout(duration)
         src.bytes_sent += payload
         src.messages_sent += 1
         dst.bytes_received += payload
-        self.counters.add("net.messages")
-        self.counters.add("net.payload_bytes", payload)
-        self.counters.add("net.wire_bytes", wire)
+        cdata["net.messages"] += 1.0
+        cdata["net.payload_bytes"] += payload
+        cdata["net.wire_bytes"] += wire
         if tracing:
             if t_hold > t_req:
                 tracer.record(

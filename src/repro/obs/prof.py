@@ -73,9 +73,15 @@ class KernelProfile:
     wall_s: float
     #: ``(kind, count, handler wall seconds)``, hottest first.
     handlers: Tuple[Tuple[str, int, float], ...]
-    #: Event-heap pressure: total pushes and the high-water mark.
+    #: Event-heap pressure: *live* pushes (events the dispatcher actually
+    #: ran — lazily-cancelled entries are excluded, keeping
+    #: ``heap_pushes == events`` for a drained heap) and the high-water
+    #: mark (which still counts cancelled entries: they occupy heap slots
+    #: until popped).
     heap_pushes: int
     heap_max: int
+    #: Entries pushed then lazily cancelled (skipped on pop, never run).
+    heap_cancelled: int
     #: Simulators constructed during the window.
     simulators: int
 
@@ -115,7 +121,8 @@ class KernelProfile:
                 f"| {wall / total:.1%} | {per_event:.2f} |"
             )
         lines.append(
-            f"\nheap: {self.heap_pushes} pushes, high-water mark "
+            f"\nheap: {self.heap_pushes} live pushes "
+            f"(+{self.heap_cancelled} cancelled), high-water mark "
             f"{self.heap_max}; handlers account for "
             f"{self.handler_wall_s:.3f} of {self.wall_s:.3f} wall s"
         )
@@ -134,6 +141,7 @@ class KernelProfile:
             ],
             "heap_pushes": self.heap_pushes,
             "heap_max": self.heap_max,
+            "heap_cancelled": self.heap_cancelled,
             "simulators": self.simulators,
         }
 
@@ -154,6 +162,7 @@ class KernelProfiler:
         self._sims = 0
         self.heap_pushes = 0
         self.heap_max = 0
+        self.heap_cancelled = 0
         self._wall0: Optional[float] = None
         self._wall_total = 0.0
 
@@ -175,6 +184,12 @@ class KernelProfiler:
         self.heap_pushes += 1
         if heap_len > self.heap_max:
             self.heap_max = heap_len
+
+    def on_cancel(self, sim) -> None:
+        """A pushed entry was lazily cancelled — move it out of the live
+        push lane so ``heap_pushes`` keeps matching dispatched events."""
+        self.heap_pushes -= 1
+        self.heap_cancelled += 1
 
     def on_event(self, sim, event, wall_s: float) -> None:
         kind = event_kind(event)
@@ -205,6 +220,7 @@ class KernelProfiler:
             handlers=handlers,
             heap_pushes=self.heap_pushes,
             heap_max=self.heap_max,
+            heap_cancelled=self.heap_cancelled,
             simulators=self._sims,
         )
 

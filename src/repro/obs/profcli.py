@@ -90,6 +90,13 @@ def _parser() -> argparse.ArgumentParser:
         help="also write the dominating run's Perfetto trace (with metrics "
         "counter tracks when --metrics-out is given)",
     )
+    p.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="profile with the kernel/NIC fast paths disabled (the legacy "
+        "event chains) — pairs with a default run for before/after "
+        "flamegraphs of the same workload",
+    )
     p.add_argument("--list", action="store_true", help="list profilable scenarios and exit")
     return p
 
@@ -111,6 +118,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.top < 1:
         print("error: --top must be >= 1", file=sys.stderr)
         return 2
+    if args.no_fastpath:
+        import os
+
+        from ..simulate.fastpath import NO_FASTPATH_ENV
+
+        os.environ[NO_FASTPATH_ENV] = "1"
 
     from ..bench.suite import profile_suite
     from . import prof

@@ -26,6 +26,10 @@ from ..regions import RegionList, build_flat_indices
 
 __all__ = ["StripeMap", "ServerSlice", "map_regions", "server_for_offset"]
 
+#: Shared read-only stream offset for the single-piece fast case below.
+_ZERO1 = np.zeros(1, dtype=np.int64)
+_ZERO1.setflags(write=False)
+
 
 def server_for_offset(offset: int, stripe: StripeParams, n_iods: int) -> int:
     """Which server stores logical byte ``offset``."""
@@ -92,6 +96,25 @@ def map_regions(regions: RegionList, stripe: StripeParams, n_iods: int) -> Strip
     """
     pcount = stripe.resolve_pcount(n_iods)
     ssize = stripe.stripe_size
+    if regions.count == 1:
+        # ~98% of service-path requests are a single region inside one
+        # stripe unit (unit-aligned cyclic and block patterns); map it
+        # with pure integer arithmetic instead of the array pipeline.
+        # Same formulas, same result — just scalar.
+        off = int(regions.offsets[0])
+        ln = int(regions.lengths[0])
+        if ln > 0 and (off % ssize) + ln <= ssize:
+            unit = off // ssize
+            sl = ServerSlice(
+                server=(stripe.base + unit % pcount) % n_iods,
+                physical=RegionList._trusted(
+                    np.array([(unit // pcount) * ssize + off % ssize], np.int64),
+                    np.array([ln], np.int64),
+                    nonempty=True,
+                ),
+                stream_offsets=_ZERO1,
+            )
+            return StripeMap(slices=(sl,), total_bytes=ln)
     pieces = regions.drop_empty().split_at_boundaries(ssize)
     if pieces.count == 0:
         return StripeMap(slices=(), total_bytes=0)
@@ -110,7 +133,9 @@ def map_regions(regions: RegionList, stripe: StripeParams, n_iods: int) -> Strip
         slices.append(
             ServerSlice(
                 server=s,
-                physical=RegionList(phys_off[grp], pieces.lengths[grp]),
+                physical=RegionList._trusted(
+                    phys_off[grp], pieces.lengths[grp], nonempty=True
+                ),
                 stream_offsets=stream_off[grp],
             )
         )

@@ -47,7 +47,7 @@ class RegionList:
     does not forbid them) but are removed by :meth:`normalized`.
     """
 
-    __slots__ = ("offsets", "lengths")
+    __slots__ = ("offsets", "lengths", "_tb", "_ne")
 
     def __init__(self, offsets, lengths) -> None:
         off = _as_int64(offsets)
@@ -64,6 +64,31 @@ class RegionList:
         ln.setflags(write=False)
         self.offsets = off
         self.lengths = ln
+        self._tb = None  # cached total_bytes (immutable => safe)
+        self._ne = None  # cached "no zero-length regions" flag
+
+    @classmethod
+    def _trusted(
+        cls, offsets: np.ndarray, lengths: np.ndarray, nonempty=None
+    ) -> "RegionList":
+        """Construct from already-validated 1-D int64 arrays.
+
+        Internal constructor for derived lists (splits, clips, slices):
+        every transformation below produces arrays that satisfy the public
+        ``__init__`` invariants by construction, so re-running the dtype /
+        shape / sign checks on each of the thousands of derived lists a
+        simulated request creates is pure overhead.  ``nonempty`` preseeds
+        the :meth:`drop_empty` cache when the producer knows no
+        zero-length region can appear.
+        """
+        r = object.__new__(cls)
+        offsets.setflags(write=False)
+        lengths.setflags(write=False)
+        r.offsets = offsets
+        r.lengths = lengths
+        r._tb = None
+        r._ne = nonempty
+        return r
 
     # ------------------------------------------------------------------
     # Constructors
@@ -74,7 +99,15 @@ class RegionList:
 
     @classmethod
     def single(cls, offset: int, length: int) -> "RegionList":
-        return cls([offset], [length])
+        # The "multiple I/O" method builds one of these per contiguous
+        # call, so skip the generic list->array validation pipeline.
+        if offset < 0:
+            raise RegionError("region offsets must be non-negative")
+        if length < 0:
+            raise RegionError("region lengths must be non-negative")
+        return cls._trusted(
+            np.array([offset], np.int64), np.array([length], np.int64)
+        )
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "RegionList":
@@ -120,7 +153,11 @@ class RegionList:
 
     @property
     def total_bytes(self) -> int:
-        return int(self.lengths.sum()) if self.lengths.size else 0
+        tb = self._tb
+        if tb is None:
+            tb = int(self.lengths.sum()) if self.lengths.size else 0
+            self._tb = tb
+        return tb
 
     @property
     def ends(self) -> np.ndarray:
@@ -170,16 +207,23 @@ class RegionList:
     # Transformations (all return new RegionLists)
     # ------------------------------------------------------------------
     def drop_empty(self) -> "RegionList":
+        if self._ne:
+            return self
         mask = self.lengths > 0
         if mask.all():
+            self._ne = True
             return self
-        return RegionList(self.offsets[mask], self.lengths[mask])
+        return RegionList._trusted(
+            self.offsets[mask], self.lengths[mask], nonempty=True
+        )
 
     def sorted(self) -> "RegionList":
         if self.is_sorted():
             return self
         order = np.argsort(self.offsets, kind="stable")
-        return RegionList(self.offsets[order], self.lengths[order])
+        return RegionList._trusted(
+            self.offsets[order], self.lengths[order], nonempty=self._ne
+        )
 
     def shift(self, delta: int) -> "RegionList":
         """Translate all offsets by ``delta`` (must not go negative)."""
@@ -188,7 +232,7 @@ class RegionList:
         off = self.offsets + int(delta)
         if (off < 0).any():
             raise RegionError("shift would produce a negative offset")
-        return RegionList(off, self.lengths)
+        return RegionList._trusted(off, self.lengths, nonempty=self._ne)
 
     def coalesced(self) -> "RegionList":
         """Merge adjacent/overlapping regions.  Sorts and drops empties
@@ -205,7 +249,7 @@ class RegionList:
         run_id = np.cumsum(new_run) - 1
         run_ends = np.zeros(run_id[-1] + 1, dtype=np.int64)
         np.maximum.at(run_ends, run_id, r.ends)
-        return RegionList(starts, run_ends - starts)
+        return RegionList._trusted(starts, run_ends - starts, nonempty=True)
 
     def concat(self, other: "RegionList") -> "RegionList":
         return RegionList(
@@ -219,7 +263,9 @@ class RegionList:
 
     def slice_regions(self, start: int, stop: int) -> "RegionList":
         """Regions ``start:stop`` (by position, not byte offset)."""
-        return RegionList(self.offsets[start:stop], self.lengths[start:stop])
+        return RegionList._trusted(
+            self.offsets[start:stop], self.lengths[start:stop], nonempty=self._ne
+        )
 
     def split_at_boundaries(self, boundary: int) -> "RegionList":
         """Split every region at multiples of ``boundary`` bytes.
@@ -250,7 +296,7 @@ class RegionList:
         unit = first_unit[reg_idx] + j
         piece_start = np.maximum(r.offsets[reg_idx], unit * boundary)
         piece_end = np.minimum(r.ends[reg_idx], (unit + 1) * boundary)
-        return RegionList(piece_start, piece_end - piece_start)
+        return RegionList._trusted(piece_start, piece_end - piece_start, nonempty=True)
 
     def subdivide(self, piece_size: int) -> "RegionList":
         """Split every region into adjacent pieces of ``piece_size`` bytes
@@ -275,7 +321,7 @@ class RegionList:
         j = np.arange(n_pieces, dtype=np.int64) - np.cumsum(firsts)
         start = r.offsets[reg_idx] + j * piece_size
         end = np.minimum(start + piece_size, r.ends[reg_idx])
-        return RegionList(start, end - start)
+        return RegionList._trusted(start, end - start, nonempty=True)
 
     def clip(self, window_start: int, window_end: int) -> "RegionList":
         """Intersect every region with ``[window_start, window_end)``,
@@ -288,7 +334,7 @@ class RegionList:
         start = np.maximum(r.offsets, window_start)
         end = np.minimum(r.ends, window_end)
         mask = end > start
-        return RegionList(start[mask], (end - start)[mask])
+        return RegionList._trusted(start[mask], (end - start)[mask], nonempty=True)
 
     def gaps(self) -> "RegionList":
         """The complement of this list within its extent.
@@ -346,7 +392,14 @@ class RegionList:
         """
         if max_regions <= 0:
             raise RegionError("max_regions must be positive")
-        for start in range(0, self.count, max_regions):
+        count = self.count
+        if count <= max_regions:
+            # Whole list fits in one request — the overwhelmingly common
+            # case on the service path; avoid re-slicing the arrays.
+            if count:
+                yield self
+            return
+        for start in range(0, count, max_regions):
             yield self.slice_regions(start, start + max_regions)
 
     def split_by_bytes(self, byte_counts: Sequence[int]) -> list:
@@ -479,7 +532,7 @@ def split_with_parents(regions: RegionList, boundary: int) -> Tuple[RegionList, 
     unit = first_unit[reg_idx] + j
     piece_start = np.maximum(r.offsets[reg_idx], unit * boundary)
     piece_end = np.minimum(r.ends[reg_idx], (unit + 1) * boundary)
-    return RegionList(piece_start, piece_end - piece_start), reg_idx
+    return RegionList._trusted(piece_start, piece_end - piece_start, nonempty=True), reg_idx
 
 
 def build_flat_indices(offsets: np.ndarray, lengths: np.ndarray) -> np.ndarray:

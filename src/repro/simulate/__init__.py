@@ -18,6 +18,7 @@ Public surface::
 """
 
 from .events import AllOf, AnyOf, Event, Timeout
+from .fastpath import NO_FASTPATH_ENV, fastpath_enabled
 from .kernel import Interrupt, Process, Simulator
 from .resources import Barrier, Mutex, Request, Resource, Store, hold
 from .stats import Counters, ScopedCounters, Timeline
@@ -42,4 +43,6 @@ __all__ = [
     "Timeline",
     "Span",
     "Tracer",
+    "NO_FASTPATH_ENV",
+    "fastpath_enabled",
 ]

@@ -9,6 +9,7 @@ resumed when those events fire.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import Any, Callable, Iterable, List
 
 from ..errors import SimulationError
@@ -24,9 +25,24 @@ class Event:
     Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called, queued
     on the heap) -> *processed* (callbacks ran).  Each transition is
     one-way; retriggering raises :class:`SimulationError`.
+
+    A triggered-but-unprocessed event that provably nothing waits on any
+    more may be *lazily cancelled* (:meth:`cancel`): it stays in the heap
+    but the dispatcher skips it on pop without running callbacks or
+    advancing the clock, and it is excluded from
+    :attr:`~repro.simulate.kernel.Simulator.events_scheduled`.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, sim) -> None:
         self.sim = sim
@@ -36,6 +52,7 @@ class Event:
         self._triggered = False
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -78,12 +95,37 @@ class Event:
         self._triggered = True
         self._ok = ok
         self._value = value
-        self.sim._enqueue(delay, self)
+        # Inlined Simulator._enqueue (every triggered event passes here).
+        sim = self.sim
+        _heappush(sim._heap, (sim.now + delay, sim._seq, self))
+        sim._seq += 1
+        if sim.profiler is not None:
+            sim.profiler.on_push(sim, len(sim._heap))
 
     def defuse(self) -> None:
         """Mark a failed event as handled so the kernel does not escalate the
         exception when nothing is waiting on it."""
         self._defused = True
+
+    def cancel(self) -> bool:
+        """Lazily cancel a triggered-but-unprocessed event.
+
+        The heap entry stays where it is; the dispatcher discards it on pop
+        without running callbacks (and without advancing the clock to its
+        timestamp when nothing live shares it).  Only call this when nothing
+        can observe the event any more — the kernel does so for timeouts
+        orphaned by interrupts and lost ``any_of`` races.  Returns whether
+        the event was actually cancelled (pending or already-processed
+        events are left alone).
+        """
+        if self._cancelled or self._processed or not self._triggered:
+            return False
+        self._cancelled = True
+        sim = self.sim
+        sim._cancelled_events += 1
+        if sim.profiler is not None:
+            sim.profiler.on_cancel(sim)
+        return True
 
     def _run_callbacks(self) -> None:
         self._processed = True
@@ -102,14 +144,24 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim, delay: float, value: Any = None) -> None:
+        # Timeouts are the single most-created event kind, so this sets the
+        # slots directly and enqueues inline rather than chaining through
+        # Event.__init__ + Simulator._enqueue.
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._enqueue(delay, self)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        _heappush(sim._heap, (sim.now + delay, sim._seq, self))
+        sim._seq += 1
+        if sim.profiler is not None:
+            sim.profiler.on_push(sim, len(sim._heap))
 
 
 class _Condition(Event):
@@ -139,13 +191,38 @@ class _Condition(Event):
     def _on_fire(self, ev: Event) -> None:
         if self._triggered:
             return
-        if not ev.ok:
+        if not ev._ok:
             ev.defuse()
             self.fail(ev.value)
+            self._release_pending()
             return
         self._n_fired += 1
         if self._satisfied():
             self.succeed(self._collect())
+            self._release_pending()
+
+    def _release_pending(self) -> None:
+        """Detach from children still pending after this condition resolved.
+
+        An AnyOf whose winner already fired keeps no interest in the losers;
+        leaving the ``_on_fire`` callback attached would only make the
+        dispatcher run it (as a no-op) when each loser eventually pops.
+        Detaching is pure optimization — ``_on_fire`` early-returns once
+        triggered — and a detached loser timeout with no other waiters can
+        be lazily cancelled outright.  Gated on the kernel fast-path switch
+        so ``--no-fastpath`` reproduces the legacy event chains exactly.
+        """
+        if not self.sim.fastpath:
+            return
+        for ev in self.events:
+            if ev._processed or ev._cancelled:
+                continue
+            try:
+                ev.callbacks.remove(self._on_fire)
+            except ValueError:
+                continue
+            if not ev.callbacks and isinstance(ev, Timeout):
+                ev.cancel()
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError

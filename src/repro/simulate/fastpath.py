@@ -1,0 +1,45 @@
+"""The kernel fast-path switch.
+
+The simulator has three performance fast paths that are *bit-identical by
+construction* to the plain event-by-event execution (see
+``docs/architecture.md``):
+
+1. eager process start — a process created while the heap is quiescent at
+   the current timestamp runs to its first suspension synchronously instead
+   of through a delay-0 boot event;
+2. the analytic NIC transfer path — an uncontended, fault-free transfer
+   collapses its request/grant event chain into one precomputed timeout;
+3. lazy cancellation — orphaned timeouts (interrupted waits, lost
+   ``any_of`` races) are skipped by the dispatcher instead of churning the
+   priority queue.
+
+``PVFS_SIM_NO_FASTPATH=1`` (or the ``--no-fastpath`` CLI flag, which sets
+it) disables all three, restoring the exact legacy event chains.  That
+makes the slow path a *live oracle*: any simulated-metric drift between the
+two modes is a bug, and the test suite and the zero-tolerance
+``bench compare`` baseline both assert there is none.
+
+The flag is read once per :class:`~repro.simulate.kernel.Simulator`
+construction, so it propagates naturally to spawned sweep workers (they
+inherit the environment) and can be flipped per-test with ``monkeypatch``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["fastpath_enabled", "NO_FASTPATH_ENV"]
+
+#: Environment variable that disables every kernel fast path when set to a
+#: truthy value ("1", "true", "yes", "on" — case-insensitive).
+NO_FASTPATH_ENV = "PVFS_SIM_NO_FASTPATH"
+
+
+def fastpath_enabled() -> bool:
+    """Whether the kernel fast paths are enabled for new simulators."""
+    return os.environ.get(NO_FASTPATH_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )

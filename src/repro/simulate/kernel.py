@@ -37,6 +37,7 @@ from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .events import AllOf, AnyOf, Event, Timeout
+from .fastpath import fastpath_enabled
 
 __all__ = ["Simulator", "Process"]
 
@@ -65,10 +66,20 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", None) or "process"
-        # Kick off at the current simulation time.
-        boot = Event(sim)
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        # Kick off at the current simulation time.  Fast path: while the
+        # dispatcher is running and the heap holds nothing else at the
+        # current timestamp, a delay-0 boot event would pop immediately
+        # with nothing able to interleave — so run the body to its first
+        # suspension right here and skip the boot event entirely.  (Outside
+        # run(), or with same-time events pending, the boot event preserves
+        # the exact legacy interleaving.)
+        heap = sim._heap
+        if sim._running and sim.fastpath and (not heap or heap[0][0] > sim.now):
+            self._step(None, False)
+        else:
+            boot = Event(sim)
+            boot.callbacks.append(self._resume)
+            boot.succeed()
 
     @property
     def is_alive(self) -> bool:
@@ -84,15 +95,22 @@ class Process(Event):
         kick.succeed()
 
     def _detach_from_waited_event(self) -> None:
-        try:
-            if self._waiting_on is not None:
-                self._waiting_on.callbacks.remove(self._resume)
-        except ValueError:
-            # The event's callback list was already extracted for execution
-            # (it fires at this very timestamp): the normal resume may still
-            # be delivered before the interrupt — _deliver_interrupt guards
-            # against resuming a process that finished in between.
-            pass
+        ev = self._waiting_on
+        if ev is not None:
+            try:
+                ev.callbacks.remove(self._resume)
+            except ValueError:
+                # The event's callback list was already extracted for
+                # execution (it fires at this very timestamp): the normal
+                # resume may still be delivered before the interrupt —
+                # _deliver_interrupt guards against resuming a process that
+                # finished in between.
+                pass
+            else:
+                # An interrupted wait on a timeout nothing else observes:
+                # cancel it lazily so it stops churning the heap.
+                if not ev.callbacks and isinstance(ev, Timeout) and self.sim.fastpath:
+                    ev.cancel()
         self._waiting_on = None
 
     def _deliver_interrupt(self, cause: Any) -> None:
@@ -107,11 +125,11 @@ class Process(Event):
     # -- execution ------------------------------------------------------
     def _resume(self, ev: Event) -> None:
         self._waiting_on = None
-        if ev.ok:
-            self._step(ev.value, throw=False)
+        if ev._ok:
+            self._step(ev._value, throw=False)
         else:
-            ev.defuse()
-            self._step(ev.value, throw=True)
+            ev._defused = True
+            self._step(ev._value, throw=True)
 
     def _step(self, value: Any, throw: bool) -> None:
         sim = self.sim
@@ -133,12 +151,12 @@ class Process(Event):
                     )
                     throw = True
                     continue
-                if target.processed:
-                    if target.ok:
-                        value = target.value
+                if target._processed:
+                    if target._ok:
+                        value = target._value
                     else:
-                        target.defuse()
-                        value = target.value
+                        target._defused = True
+                        value = target._value
                         throw = True
                     continue
                 self._waiting_on = target
@@ -181,8 +199,14 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
+        self._cancelled_events = 0
         self._active_process: Optional[Process] = None
         self._running = False
+        #: Kernel fast paths (eager process start, analytic NIC transfers,
+        #: lazy cancellation) — bit-identical by construction; disabled by
+        #: ``PVFS_SIM_NO_FASTPATH`` / ``--no-fastpath`` to restore the
+        #: exact legacy event chains (see :mod:`repro.simulate.fastpath`).
+        self.fastpath = fastpath_enabled()
         #: Optional :class:`~repro.obs.prof.KernelProfiler` (read-only
         #: observer of the dispatch loop; ``None`` = zero overhead).
         self.profiler = _ACTIVE_PROFILER
@@ -220,15 +244,31 @@ class Simulator:
 
     @property
     def events_scheduled(self) -> int:
-        """Total events ever enqueued — a deterministic churn measure."""
-        return self._seq
+        """Total *live* events ever enqueued — a deterministic churn
+        measure.  Lazily-cancelled events (orphaned timeouts skipped by the
+        dispatcher without running) are excluded, so the count reflects
+        work the kernel actually dispatches."""
+        return self._seq - self._cancelled_events
+
+    @property
+    def events_cancelled(self) -> int:
+        """Events lazily cancelled so far (never dispatched)."""
+        return self._cancelled_events
+
+    def _drop_cancelled(self) -> None:
+        """Discard dead entries from the top of the heap."""
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the heap is empty."""
+        """Time of the next live event, or ``inf`` if the heap is empty."""
+        self._drop_cancelled()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one live event."""
+        self._drop_cancelled()
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
         t, _seq, event = heapq.heappop(self._heap)
@@ -241,8 +281,8 @@ class Simulator:
             _w0 = perf_counter()
             event._run_callbacks()
             self.profiler.on_event(self, event, perf_counter() - _w0)
-        if not event.ok and not event._defused:
-            exc = event.value
+        if not event._ok and not event._defused:
+            exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
 
     def run(self, until: Optional[float] = None) -> float:
@@ -257,14 +297,39 @@ class Simulator:
         try:
             if until is not None and until < self.now:
                 raise SimulationError(f"until={until} is in the past (now={self.now})")
-            while self._heap:
-                if until is not None and self.peek() > until:
+            # The dispatch loop is the hottest code in the repository, so
+            # the heap, pop, and callback walk are inlined here (step()
+            # keeps the single-event surface for external callers).
+            heap = self._heap
+            pop = heapq.heappop
+            profiler = self.profiler
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event._cancelled:
+                    pop(heap)
+                    continue
+                t = entry[0]
+                if until is not None and t > until:
                     self.now = until
-                    break
-                self.step()
-            else:
-                if until is not None:
-                    self.now = until
+                    return until
+                pop(heap)
+                self.now = t
+                if profiler is None:
+                    event._processed = True
+                    callbacks = event.callbacks
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+                else:
+                    _w0 = perf_counter()
+                    event._run_callbacks()
+                    profiler.on_event(self, event, perf_counter() - _w0)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+            if until is not None:
+                self.now = until
             return self.now
         finally:
             self._running = False

@@ -67,25 +67,32 @@ class Counters:
 
 
 class ScopedCounters:
-    """Prefix view over a :class:`Counters` (shares storage)."""
+    """Prefix view over a :class:`Counters` (shares storage).
 
-    __slots__ = ("_base", "_prefix")
+    Scoped adds run on every served request, so the view binds the backing
+    dict and the dotted prefix once instead of re-joining and re-dispatching
+    through :class:`Counters` per call.
+    """
+
+    __slots__ = ("_base", "_prefix", "_data", "_dot")
 
     def __init__(self, base: Counters, prefix: str) -> None:
         self._base = base
         self._prefix = prefix.rstrip(".")
+        self._data = base._data
+        self._dot = self._prefix + "."
 
     def add(self, key: str, amount: float = 1.0) -> None:
-        self._base.add(f"{self._prefix}.{key}", amount)
+        self._data[self._dot + key] += amount
 
     def set(self, key: str, value: float) -> None:
-        self._base.set(f"{self._prefix}.{key}", value)
+        self._data[self._dot + key] = value
 
     def get(self, key: str, default: float = 0.0) -> float:
-        return self._base.get(f"{self._prefix}.{key}", default)
+        return self._data.get(self._dot + key, default)
 
     def __getitem__(self, key: str) -> float:
-        return self._base[f"{self._prefix}.{key}"]
+        return self._data.get(self._dot + key, 0.0)
 
 
 class Timeline:

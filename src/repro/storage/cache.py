@@ -91,6 +91,29 @@ class BlockCache:
                 self.stats.misses += 1
         return hits
 
+    def lookup_range(self, file_id: Hashable, first_block: int, last_block: int) -> list:
+        """Hit/miss over the contiguous block range ``[first, last]``.
+
+        Same semantics as :meth:`lookup` on ``arange(first, last + 1)`` —
+        hits are LRU-touched in ascending block order and counted — but
+        returns the *missed* block numbers (ascending) directly, which is
+        the only thing the disk model needs.  Skips the array round-trip:
+        a run's blocks are always consecutive, so the span is two ints.
+        """
+        lru = self._lru
+        missed = []
+        hits = 0
+        for b in range(first_block, last_block + 1):
+            key = (file_id, b)
+            if key in lru:
+                lru.move_to_end(key)
+                hits += 1
+            else:
+                missed.append(b)
+        self.stats.hits += hits
+        self.stats.misses += len(missed)
+        return missed
+
     def contains(self, file_id: Hashable, block: int) -> bool:
         """Non-mutating membership probe (no LRU touch, no stats)."""
         return (file_id, block) in self._lru
@@ -122,6 +145,41 @@ class BlockCache:
                     self.stats.dirty_evictions += 1
                     dirty_evicted += 1
         return dirty_evicted
+
+    def insert_range(
+        self, file_id: Hashable, first_block: int, n_blocks: int, dirty: bool = False
+    ) -> int:
+        """:meth:`insert` for a contiguous run of ``n_blocks`` blocks
+        starting at ``first_block`` (identical stats/LRU/eviction order)."""
+        if self.capacity_blocks <= 0:
+            return n_blocks if dirty else 0
+        lru = self._lru
+        stats = self.stats
+        capacity = self.capacity_blocks
+        dirty_evicted = 0
+        for b in range(first_block, first_block + n_blocks):
+            key = (file_id, b)
+            if key in lru:
+                was_dirty = lru.pop(key)
+                lru[key] = was_dirty or dirty
+                continue
+            lru[key] = dirty
+            stats.insertions += 1
+            if len(lru) > capacity:
+                _old_key, old_dirty = lru.popitem(last=False)
+                stats.evictions += 1
+                if old_dirty:
+                    stats.dirty_evictions += 1
+                    dirty_evicted += 1
+        return dirty_evicted
+
+    def clean_range(self, file_id: Hashable, first_block: int, last_block: int) -> None:
+        """:meth:`clean` over the contiguous block range ``[first, last]``."""
+        lru = self._lru
+        for b in range(first_block, last_block + 1):
+            key = (file_id, b)
+            if key in lru:
+                lru[key] = False
 
     def clean(self, file_id: Hashable, blocks: np.ndarray) -> None:
         """Mark blocks clean (they were flushed)."""

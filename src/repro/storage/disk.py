@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from typing import Hashable, Optional, Tuple
 
-import numpy as np
-
 from ..config import CacheConfig, DiskConfig
 from ..regions import RegionList
 from .cache import BlockCache
@@ -100,30 +98,35 @@ class Disk:
         runs = regions.coalesced()
         if runs.total_bytes == 0:
             return 0.0
-        bs = self.cache.cfg.block_size
-        ra_blocks = max(self.cache.cfg.readahead // bs, 1)
+        cache = self.cache
+        bs = cache.cfg.block_size
+        ra_blocks = max(cache.cfg.readahead // bs, 1)
         t = self._memcpy(runs.total_bytes)  # cache -> iod buffer copy
         for off, ln in runs:
-            blocks = self.cache.block_span(off, ln)
-            hits = self.cache.lookup(file_id, blocks)
-            if hits.all():
+            # A run's blocks are consecutive, so hit/miss runs over a plain
+            # integer range (no per-run array building); the warm-cache
+            # all-hit case costs just the lookup walk.
+            missed = cache.lookup_range(file_id, off // bs, (off + ln - 1) // bs)
+            if not missed:
                 continue
-            missed = blocks[~hits]
             # Group consecutive missed blocks into fetch segments.
-            cuts = np.flatnonzero(np.diff(missed) > 1) + 1
-            for seg in np.split(missed, cuts):
-                seg_start_block = int(seg[0])
-                n_fetch = max(len(seg), ra_blocks)  # readahead widening
-                fetch_start = seg_start_block * bs
+            seg_start = prev = missed[0]
+            for b in missed[1:] + [None]:
+                if b is not None and b == prev + 1:
+                    prev = b
+                    continue
+                seg_len = prev - seg_start + 1
+                n_fetch = max(seg_len, ra_blocks)  # readahead widening
+                fetch_start = seg_start * bs
                 fetch_bytes = n_fetch * bs
                 t += self._position(file_id, fetch_start)
                 t += self._media(fetch_bytes)
                 self.media_reads += 1
                 self.media_read_bytes += fetch_bytes
-                fetched = np.arange(seg_start_block, seg_start_block + n_fetch, dtype=np.int64)
-                dirty_evicted = self.cache.insert(file_id, fetched)
+                dirty_evicted = cache.insert_range(file_id, seg_start, n_fetch)
                 t += self._media(dirty_evicted * bs)
                 self._head = (file_id, fetch_start + fetch_bytes)
+                seg_start = prev = b
         return t
 
     def write_time(self, file_id: Hashable, regions: RegionList) -> float:
@@ -131,11 +134,14 @@ class Disk:
         runs = regions.coalesced()
         if runs.total_bytes == 0:
             return 0.0
-        bs = self.cache.cfg.block_size
+        cache = self.cache
+        bs = cache.cfg.block_size
+        write_through = cache.cfg.write_through
         t = self._memcpy(runs.total_bytes)  # iod buffer -> cache copy
         for off, ln in runs:
-            blocks = self.cache.block_span(off, ln)
-            dirty_evicted = self.cache.insert(file_id, blocks, dirty=True)
+            first = off // bs
+            last = (off + ln - 1) // bs
+            dirty_evicted = cache.insert_range(file_id, first, last - first + 1, dirty=True)
             if dirty_evicted:
                 # Write-back of evicted dirty pages: one positioning for the
                 # batch plus media transfer.
@@ -143,12 +149,12 @@ class Disk:
                 self.media_writes += 1
                 self.media_write_bytes += dirty_evicted * bs
                 self.positionings += 1
-            if self.cache.cfg.write_through:
+            if write_through:
                 t += self._position(file_id, off) + self._media(ln)
                 self.media_writes += 1
                 self.media_write_bytes += ln
                 self._head = (file_id, off + ln)
-                self.cache.clean(file_id, blocks)
+                cache.clean_range(file_id, first, last)
         return t
 
     def flush_time(self) -> float:
