@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..config import ClusterConfig
 from ..errors import BenchError
 from ..experiments.presets import SCALES, Scale
-from ..sweep import MpiioSpec, PointSpec, run_sweep
+from ..sweep import ChaosSpec, MpiioSpec, PointSpec, run_sweep
 from .micro import DiskRunsSpec, KernelChurnSpec, NetStreamSpec
 from .schema import BenchResult, ScenarioResult, SimMetrics, WallMetrics
 
@@ -166,6 +166,22 @@ SUITE: Tuple[Scenario, ...] = (
         "collective",
         "MPI-IO FLASH writes: independent vs two-phase collective",
         _collective_specs,
+    ),
+    Scenario(
+        "chaos_failover_read",
+        "robust",
+        "replicated read-back (R=2): kill the primary mid-read, fail over "
+        "to replicas with zero data errors",
+        lambda scale: [
+            ChaosSpec(
+                scenario="failover-read",
+                benchmark="artificial",
+                scale=scale,
+                restart_after=2.0,
+                replicas=2,
+                ack="primary",
+            )
+        ],
     ),
     Scenario(
         "micro_kernel_churn",

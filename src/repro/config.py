@@ -219,17 +219,26 @@ class StripeParams:
     ``base`` is the first I/O node used, ``pcount`` the number of I/O nodes
     the file is striped across (``None`` = all), ``stripe_size`` the size of
     each stripe unit in bytes.
+
+    ``replicas`` extends the paper's layout with chain replication: every
+    stripe keeps a primary copy plus ``replicas - 1`` mirrors on the
+    following I/O nodes (see :func:`repro.pvfs.striping.replica_chain`).
+    The paper's PVFS is ``replicas=1`` — no redundancy, which is the
+    default and stays bit-identical to the original code path.
     """
 
     stripe_size: int = 16384  # paper default, Section 4.1
     base: int = 0
     pcount: Optional[int] = None
+    #: Copies of every stripe (1 = no replication, the paper's layout).
+    replicas: int = 1
 
     def __post_init__(self) -> None:
         _require(self.stripe_size > 0, "stripe_size must be positive")
         _require(self.base >= 0, "base must be non-negative")
         if self.pcount is not None:
             _require(self.pcount > 0, "pcount must be positive when given")
+        _require(self.replicas >= 1, "replicas must be >= 1")
 
     def resolve_pcount(self, n_iods: int) -> int:
         """Number of servers actually used given a cluster with ``n_iods``."""
@@ -238,6 +247,15 @@ class StripeParams:
         _require(pc <= n_iods, f"pcount {pc} exceeds available I/O servers {n_iods}")
         _require(self.base < n_iods, f"base {self.base} out of range for {n_iods} servers")
         return pc
+
+    def resolve_replicas(self, n_iods: int) -> int:
+        """Copies per stripe given a cluster with ``n_iods`` (validated so
+        two copies of a stripe can never co-locate on one daemon)."""
+        _require(
+            self.replicas <= n_iods,
+            f"replicas {self.replicas} exceeds available I/O servers {n_iods}",
+        )
+        return self.replicas
 
 
 @dataclass(frozen=True)
@@ -259,6 +277,12 @@ class ClusterConfig:
     #: (the paper's setup: "One of the I/O nodes doubled as both a manager
     #: and an I/O server").
     manager_on_iod0: bool = True
+    #: Write-acknowledgement policy under replication (``stripe.replicas``
+    #: > 1): ``"primary"`` acks once the first live chain member committed
+    #: (remaining copies complete in the background, joined at close/fsync);
+    #: ``"quorum"`` waits for a majority of the chain.  Ignored without
+    #: replication.
+    ack_policy: str = "primary"
     #: RNG seed for any stochastic component (kept deterministic).
     seed: int = 0x5EED
     #: Fault schedule + client retry policy (see :mod:`repro.faults`).  The
@@ -274,6 +298,11 @@ class ClusterConfig:
         # Trailing data must fit the design target: each region is described
         # by an (offset, length) pair of 8-byte integers.
         self.stripe.resolve_pcount(self.n_iods)
+        self.stripe.resolve_replicas(self.n_iods)
+        _require(
+            self.ack_policy in ("primary", "quorum"),
+            f"ack_policy must be 'primary' or 'quorum', got {self.ack_policy!r}",
+        )
 
     def with_(self, **kwargs) -> "ClusterConfig":
         """Return a copy with the given fields replaced."""

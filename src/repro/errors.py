@@ -29,6 +29,7 @@ __all__ = [
     "FaultError",
     "TimeoutError",
     "ServerCrashed",
+    "ServerFenced",
     "RetryExhausted",
 ]
 
@@ -121,6 +122,21 @@ class TimeoutError(FaultError, builtins.TimeoutError):
 class ServerCrashed(FaultError):
     """The I/O daemon holding the request crashed (or refused the
     connection while down) before acknowledging it."""
+
+
+class ServerFenced(FaultError):
+    """The I/O daemon was fenced by the manager (epoch-numbered fencing
+    token) and refuses every request until it resyncs and rejoins.
+
+    Unlike :class:`ServerCrashed`, a fenced refusal is *authoritative* —
+    retrying the same daemon cannot succeed, so clients skip the backoff
+    loop and fail over to a replica immediately.  ``epoch`` carries the
+    fencing token so zombie restarts can never serve stale acks.
+    """
+
+    def __init__(self, message: str, epoch: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
 
 
 class RetryExhausted(FaultError):

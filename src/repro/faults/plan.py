@@ -239,6 +239,16 @@ class RetryPolicy:
         """Whether the retry machinery engages at all."""
         return self.request_timeout is not None
 
+    @property
+    def budget(self) -> int:
+        """Per-request attempt budget: the first attempt plus every retry.
+
+        :class:`~repro.errors.RetryExhausted` carries this as ``attempts``
+        once the budget runs out; the failover path spends one full budget
+        per replica before moving down the chain.
+        """
+        return self.max_retries + 1
+
     def backoff(self, attempt: int, rng=None) -> float:
         """Backoff delay before retry number ``attempt + 1`` (attempt is the
         0-based index of the failure that triggered it)."""

@@ -338,6 +338,12 @@ class MetricsRegistry:
             retries = getattr(result, "retries", None)
             if retries:
                 self.counter(f"{scope}.fault_retries").inc(float(retries))
+            failovers = getattr(result, "failovers", None)
+            if failovers:
+                self.counter(f"{scope}.failovers").inc(float(failovers))
+            exhausted = getattr(result, "retries_exhausted", None)
+            if exhausted:
+                self.counter(f"{scope}.retries_exhausted").inc(float(exhausted))
             elapsed_h.observe(elapsed)
             moved_h.observe(moved)
 
@@ -449,8 +455,11 @@ _FAULT_CATEGORIES = (
     "fault.disk_stall",
     "fault.link_down",
     "fault.packet_loss",
+    "fault.fence",
+    "fault.resync",
     "client.timeout",
     "client.retry_backoff",
+    "client.failover",
     "net.link_stall",
 )
 

@@ -135,11 +135,11 @@ def _span_lane(span) -> Optional[Tuple[str, str]]:
     # Fault-injection windows and the client's survival actions (see
     # repro.faults): each lands on a "faults" lane of the affected node so
     # a crash window lines up visually with the retries it caused.
-    if cat in ("fault.crash", "fault.disk_stall"):
+    if cat in ("fault.crash", "fault.disk_stall", "fault.fence", "fault.resync"):
         return f"iod{meta.get('iod', 0)}", "faults"
     if cat in ("fault.link_down", "fault.packet_loss"):
         return meta.get("node", span.label), "faults"
-    if cat in ("client.timeout", "client.retry_backoff"):
+    if cat in ("client.timeout", "client.retry_backoff", "client.failover"):
         return f"client{meta.get('client', 0)}", "faults"
     if cat == "net.link_stall":
         return meta.get("src", span.label), "faults"

@@ -14,7 +14,14 @@ from .protocol import (
     request_wire_bytes,
     response_wire_bytes,
 )
-from .striping import ServerSlice, StripeMap, map_regions, server_for_offset
+from .replication import DirtyRange, FenceView, ReplicationState
+from .striping import (
+    ServerSlice,
+    StripeMap,
+    map_regions,
+    replica_chain,
+    server_for_offset,
+)
 
 __all__ = [
     "Cluster",
@@ -35,5 +42,9 @@ __all__ = [
     "StripeMap",
     "ServerSlice",
     "map_regions",
+    "replica_chain",
     "server_for_offset",
+    "ReplicationState",
+    "FenceView",
+    "DirtyRange",
 ]

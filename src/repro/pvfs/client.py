@@ -30,11 +30,18 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import FaultError, FileNotOpenError, PVFSError, RetryExhausted, TimeoutError
+from ..errors import (
+    FaultError,
+    FileNotOpenError,
+    PVFSError,
+    RetryExhausted,
+    ServerFenced,
+    TimeoutError,
+)
 from ..regions import RegionList
 from ..simulate import Event
 from .protocol import IORequest, ManagerRequest
-from .striping import map_regions
+from .striping import map_regions, replica_chain
 
 __all__ = ["PVFSClient", "PVFSFile"]
 
@@ -54,6 +61,9 @@ class PVFSFile:
         self.path = meta.path
         self.stripe = meta.stripe
         self.size = meta.size
+        #: Copies per stripe (chain replication); 1 = the paper's layout,
+        #: which keeps every code path below identical to the seed.
+        self.replicas = meta.stripe.resolve_replicas(client.n_iods)
         self._open = True
 
     def _check_open(self) -> None:
@@ -182,11 +192,20 @@ class PVFSFile:
         smap = map_regions(regions, self.stripe, client.n_iods)
         if smap.n_servers == 0:
             return np.zeros(0, dtype=np.uint8) if client.move_bytes else None
+        replicated = self.replicas > 1
         procs = []
         for sl in smap:
             payload = None
             if kind == "write" and stream is not None:
                 payload = stream[sl.gather_stream_indices()]
+            if replicated:
+                procs.append(
+                    sim.process(
+                        self._replicated_slice(kind, sl, payload, wire_regions),
+                        name=f"client{client.index}.slice",
+                    )
+                )
+                continue
             req = IORequest(
                 kind=kind,
                 file_id=self.file_id,
@@ -217,12 +236,165 @@ class PVFSFile:
                 servers=smap.n_servers,
                 nbytes=regions.total_bytes,
             )
+        if replicated:
+            client.cluster.replication.note_goodput(sim.now, regions.total_bytes)
         if kind == "read" and client.move_bytes:
             out = np.zeros(regions.total_bytes, dtype=np.uint8)
             for sl, piece in zip(smap, results):
                 out[sl.gather_stream_indices()] = piece
             return out
         return None
+
+    # ------------------------------------------------------------------
+    # Replication (replicas > 1): failover reads and fan-out writes.
+    # ------------------------------------------------------------------
+    def _replicated_slice(self, kind, sl, payload, wire_regions):
+        """One server slice of a replicated request (simulation process)."""
+        chain = replica_chain(sl.server, self.replicas, self.client.n_iods)
+        if kind == "read":
+            result = yield from self._failover_read(sl, chain, wire_regions)
+        else:
+            result = yield from self._replicated_write(sl, chain, payload, wire_regions)
+        return result
+
+    def _failover_read(self, sl, chain, wire_regions):
+        """Read the slice from the first chain member that answers.
+
+        Known-fenced members are skipped outright — the manager republished
+        the stripe map when it fenced them, so routing around them costs no
+        messages and no retry budget.  A member that fails mid-read is
+        reported to the manager (fencing it for everyone) before the next
+        member is tried.  Only when *every* copy is unreachable does the
+        request fail.
+        """
+        client = self.client
+        sim = client.sim
+        state = client.cluster.replication
+        t_detected = None  # first moment this request noticed trouble
+        last_error: Optional[BaseException] = None
+        attempts = 0
+        for target in chain:
+            if state.is_fenced(target):
+                if t_detected is None:
+                    t_detected = sim.now
+                continue
+            req = IORequest(
+                kind="read",
+                file_id=self.file_id,
+                regions=sl.physical,
+                client_node=client.node,
+                response=Event(sim),
+                wire_regions=wire_regions,
+                replica_of=sl.server if target != sl.server else None,
+            )
+            client.scope.add("server_messages")
+            attempts += 1
+            try:
+                result = yield from client._send(req, target)
+            except FaultError as exc:
+                last_error = exc
+                if t_detected is None:
+                    t_detected = sim.now
+                if not state.is_fenced(target):
+                    yield from client._report_failure(target)
+                continue
+            if t_detected is not None:
+                client.scope.add("failovers")
+                state.note_failover(t_detected, sim.now, sl.server, client.index)
+                tracer = client.cluster.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.record(
+                        "client.failover",
+                        f"iod{sl.server}->iod{target}",
+                        t_detected,
+                        sim.now,
+                        client=client.index,
+                        primary=sl.server,
+                        server=target,
+                    )
+            return result
+        raise RetryExhausted(
+            f"all {len(chain)} replicas of iod{sl.server} failed for a read "
+            f"of file {self.file_id}: {last_error}",
+            attempts=attempts,
+            last_error=last_error,
+        )
+
+    def _replicated_write(self, sl, chain, payload, wire_regions):
+        """Write the slice to every live chain member; ack per policy.
+
+        ``primary`` ack returns once the first live member (chain order)
+        acknowledges — the rest complete in the background and are joined
+        by :meth:`close`/:meth:`fsync`.  ``quorum`` ack waits for a strict
+        majority of the chain.  A member that is fenced (or fails and gets
+        fenced) has its missed range recorded dirty for the resync
+        protocol; the write only fails when *no* copy lands.
+        """
+        client = self.client
+        sim = client.sim
+        state = client.cluster.replication
+        procs = []
+        t_detected = None
+        for member in chain:
+            if state.is_fenced(member):
+                state.mark_dirty(member, self.file_id, sl.server, chain, sl.physical)
+                if t_detected is None:
+                    t_detected = sim.now
+                continue
+            req = IORequest(
+                kind="write",
+                file_id=self.file_id,
+                regions=sl.physical,
+                client_node=client.node,
+                response=Event(sim),
+                data=payload,
+                wire_regions=wire_regions,
+                replica_of=sl.server if member != sl.server else None,
+            )
+            client.scope.add("server_messages")
+            procs.append(
+                sim.process(
+                    client._member_write(req, member, self.file_id, sl.server, chain),
+                    name=f"client{client.index}.replica{member}",
+                )
+            )
+        if not procs:
+            raise RetryExhausted(
+                f"every chain member of iod{sl.server} is fenced; write of "
+                f"file {self.file_id} has no live copy",
+                attempts=0,
+                last_error=None,
+            )
+        if state.ack_policy == "quorum":
+            needed = min(len(chain) // 2 + 1, len(procs))
+        else:
+            needed = 1
+        acked = 0
+        waited = 0  # members joined so far, in chain order
+        for proc in procs:
+            ok = yield proc
+            waited += 1
+            if ok:
+                acked += 1
+            elif t_detected is None:
+                t_detected = sim.now
+            if acked >= needed:
+                break
+        # Members past the ack point finish in the background; close() and
+        # fsync() join them so acknowledged-then-closed data is fully
+        # replicated on every live copy.
+        client._pending_replica.extend(procs[waited:])
+        if acked == 0:
+            raise RetryExhausted(
+                f"no chain member of iod{sl.server} acknowledged a write of "
+                f"file {self.file_id}",
+                attempts=waited,
+                last_error=None,
+            )
+        if t_detected is not None:
+            client.scope.add("failovers")
+            state.note_failover(t_detected, sim.now, sl.server, client.index)
+        return True
 
     # ------------------------------------------------------------------
     # Nonblocking variants (PVFS 1.x exposed pvfs_iread/pvfs_iwrite).
@@ -256,9 +428,25 @@ class PVFSFile:
         sim = client.sim
         n_iods = client.n_iods
         pcount = self.stripe.resolve_pcount(n_iods)
+        if self.replicas > 1:
+            # Settle background replica writes first, then flush every live
+            # chain member (deduped — neighbouring primaries share replicas).
+            yield from client._drain_pending()
+            state = client.cluster.replication
+            targets = sorted(
+                {
+                    member
+                    for i in range(pcount)
+                    for member in replica_chain(
+                        (self.stripe.base + i) % n_iods, self.replicas, n_iods
+                    )
+                    if not state.is_fenced(member)
+                }
+            )
+        else:
+            targets = [(self.stripe.base + i) % n_iods for i in range(pcount)]
         procs = []
-        for i in range(pcount):
-            server = (self.stripe.base + i) % n_iods
+        for server in targets:
             req = IORequest(
                 kind="fsync",
                 file_id=self.file_id,
@@ -276,6 +464,10 @@ class PVFSFile:
         """Release the handle; reports final size to the manager."""
         self._check_open()
         self._open = False
+        if self.replicas > 1:
+            # Primary-ack returns before every copy lands; close() joins the
+            # background replica writes so a closed file is fully replicated.
+            yield from self.client._drain_pending()
         yield from self.client._manager_op(
             "close", file_id=self.file_id, size_hint=self.size
         )
@@ -310,6 +502,10 @@ class PVFSClient:
         #: Optional observability hook with ``on_busy(t)`` / ``on_idle(t)``
         #: marking the window of each logical request; None = untraced.
         self.monitor = None
+        #: Background replica-write processes launched by primary-ack slices
+        #: (never failing — a dead member is fenced + marked dirty instead).
+        #: ``close``/``fsync`` drain the list before acknowledging.
+        self._pending_replica = []
 
     # ------------------------------------------------------------------
     def open(self, path: str, create: bool = False, stripe=None):
@@ -322,6 +518,7 @@ class PVFSClient:
         """
         if stripe is not None:
             stripe.resolve_pcount(self.n_iods)  # validate against cluster
+            stripe.resolve_replicas(self.n_iods)
         meta = yield from self._manager_op(
             "open", path=path, create=create, stripe=stripe
         )
@@ -365,6 +562,37 @@ class PVFSClient:
         result = yield from self._send_with_retries(req, server)
         return result
 
+    def _member_write(self, req: IORequest, target: int, file_id, primary, chain):
+        """One chain member's share of a replicated write (simulation
+        process).  Never raises: a member that stops answering is reported
+        to the manager (fencing it) and its missed range recorded dirty for
+        the resync protocol; the ack policy in
+        :meth:`PVFSFile._replicated_write` decides whether the slice still
+        succeeds.  Returns True on ack, False on loss."""
+        state = self.cluster.replication
+        try:
+            yield from self._send(req, target)
+        except FaultError:
+            if not state.is_fenced(target):
+                yield from self._report_failure(target)
+            state.mark_dirty(target, file_id, primary, chain, req.regions)
+            return False
+        return True
+
+    def _report_failure(self, server: int):
+        """Tell the manager a daemon stopped answering; the manager fences
+        it (fresh epoch token) and republishes the stripe map."""
+        self.scope.add("failure_reports")
+        view = yield from self._manager_op("report_failure", iod=server)
+        return view
+
+    def _drain_pending(self):
+        """Join every outstanding background replica write."""
+        pending, self._pending_replica = self._pending_replica, []
+        live = [p for p in pending if not p.triggered]
+        if live:
+            yield self.sim.all_of(live)
+
     def _attempt(self, req: IORequest, server: int):
         """One delivery attempt (simulation process raced against the
         deadline by :meth:`_send_with_retries`)."""
@@ -405,6 +633,11 @@ class PVFSClient:
                     exc = proc.value
                     if not isinstance(exc, FaultError):
                         raise exc
+                    if isinstance(exc, ServerFenced):
+                        # Authoritative refusal: the manager fenced this
+                        # daemon, so retrying it cannot succeed — surface
+                        # immediately and let the caller fail over.
+                        raise exc
                     last_error = exc
                 else:
                     # Deadline won the race: abandon the in-flight attempt.
@@ -426,6 +659,8 @@ class PVFSClient:
                             attempt=attempt,
                         )
             except FaultError as exc:
+                if isinstance(exc, ServerFenced):
+                    raise
                 last_error = exc
             if attempt >= policy.max_retries:
                 break
@@ -444,10 +679,11 @@ class PVFSClient:
                     server=server,
                     attempt=attempt,
                 )
+        self.scope.add("retries_exhausted")
         raise RetryExhausted(
             f"request {req.request_id} to iod{server} failed after "
-            f"{policy.max_retries + 1} attempt(s): {last_error}",
-            attempts=policy.max_retries + 1,
+            f"{policy.budget} attempt(s): {last_error}",
+            attempts=policy.budget,
             last_error=last_error,
         )
 

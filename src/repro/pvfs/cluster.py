@@ -30,6 +30,7 @@ from .client import PVFSClient
 from .iod import IOD
 from .manager import Manager
 from .metadata import Namespace
+from .replication import ReplicationState
 
 __all__ = ["Cluster", "WorkloadResult"]
 
@@ -116,6 +117,19 @@ class Cluster:
                     seed=config.seed,
                 )
             )
+
+        # --- replication -------------------------------------------------
+        #: Shared fencing/dirty-range bookkeeping.  Always present (it owns
+        #: no simulation processes, so unreplicated clusters stay
+        #: bit-identical to the seed); only consulted on replicas>1 paths.
+        self.replication = ReplicationState(
+            config.stripe.resolve_replicas(config.n_iods), config.ack_policy
+        )
+        self.manager.replication = self.replication
+        self.manager.iods = self.iods
+        self.manager.tracer = self.tracer
+        for iod in self.iods:
+            iod.cluster = self
 
         # --- clients -----------------------------------------------------
         self.clients: List[PVFSClient] = [

@@ -25,6 +25,14 @@ none: "if an I/O server goes down, the file system hangs with it"):
   (the ack is only sent after the store is updated), so durability matches
   a local fs whose write(2) returned.  Unacknowledged writes rely on
   idempotent client replay.
+
+Replication adds *fencing* on top (``StripeParams.replicas > 1``): once
+the manager fences the daemon with an epoch token, every request —
+including ones an alive zombie might still try to serve — is refused with
+:class:`~repro.errors.ServerFenced`, so stale acks are impossible.  A
+restarted fenced daemon runs the **resync protocol** (:meth:`_rejoin`):
+it copies every dirty range it missed from a live chain member over the
+real network/disk paths, then asks the manager to lift the fence.
 """
 
 from __future__ import annotations
@@ -34,11 +42,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..config import CostModel
-from ..errors import ServerCrashed
+from ..errors import FaultError, ServerCrashed, ServerFenced
 from ..network import Network, Node
-from ..simulate import Counters, Interrupt, Process, Simulator, Store
+from ..simulate import Counters, Event, Interrupt, Process, Simulator, Store
 from ..storage import ByteStore, Disk
-from .protocol import IORequest
+from .protocol import IORequest, ManagerRequest
 
 __all__ = ["IOD"]
 
@@ -94,6 +102,16 @@ class IOD:
         self.first_service_after_restart: Optional[float] = None
         self._current: Optional[IORequest] = None
         self._inflight_responses: List[Tuple[Process, IORequest]] = []
+        # -- replication/fencing state (inert without replicas > 1) ------
+        #: Back-reference to the owning cluster, set by Cluster.__init__;
+        #: the resync protocol needs the replication state, the manager,
+        #: and the peer daemon list.
+        self.cluster = None
+        self.fenced = False
+        self.fence_epoch = 0
+        self.resyncs = 0
+        self.resync_bytes = 0
+        self._rejoin_proc: Optional[Process] = None
         self._proc: Process = sim.process(self._run(), name=f"iod{index}")
 
     def _scale(self) -> float:
@@ -113,16 +131,31 @@ class IOD:
         if not self.alive:
             self._refuse(req)
             return
+        if self.fenced:
+            # A fenced daemon must never serve (or ack) anything — even a
+            # zombie that restarted with stale state.  The refusal carries
+            # the epoch so clients fail over instead of retrying.
+            self._refuse(req, fenced=True)
+            return
         req.enqueued_at = self.sim.now
         self.inbox.put(req)
 
-    def _refuse(self, req: IORequest) -> None:
-        """Fail a request's response with ServerCrashed (pre-defused so an
-        abandoned, already-timed-out request cannot crash the kernel)."""
+    def _refuse(self, req: IORequest, fenced: bool = False) -> None:
+        """Fail a request's response with ServerCrashed / ServerFenced
+        (pre-defused so an abandoned, already-timed-out request cannot
+        crash the kernel)."""
         if not req.response.triggered:
-            req.response.fail(
-                ServerCrashed(f"iod{self.index} is down (request {req.request_id})")
-            )
+            if fenced:
+                exc: FaultError = ServerFenced(
+                    f"iod{self.index} is fenced at epoch {self.fence_epoch} "
+                    f"(request {req.request_id})",
+                    epoch=self.fence_epoch,
+                )
+            else:
+                exc = ServerCrashed(
+                    f"iod{self.index} is down (request {req.request_id})"
+                )
+            req.response.fail(exc)
             req.response.defuse()
 
     def crash(self) -> None:
@@ -146,10 +179,40 @@ class IOD:
             if proc.is_alive:
                 proc.interrupt("crash")
             self._refuse(req)
+        if self._rejoin_proc is not None and self._rejoin_proc.is_alive:
+            # Crashed again mid-resync: dirty ranges stay recorded and the
+            # next restart picks them up.
+            self._rejoin_proc.interrupt("crash")
+            self._rejoin_proc = None
+
+    def fence(self, epoch: int) -> None:
+        """Apply the manager's fencing token (idempotent).
+
+        An alive daemon being fenced is the zombie case — the manager
+        declared it dead after client retry budgets exhausted, so it is
+        forcibly killed (STONITH); whatever it was serving fails rather
+        than producing acks the new epoch would have to distrust.  A
+        fenced daemon refuses everything until :meth:`unfence`.
+        """
+        if self.fenced:
+            return
+        self.fenced = True
+        self.fence_epoch = epoch
+        self.scope.add("fences")
+        if self.alive:
+            self.crash()
+
+    def unfence(self) -> None:
+        """Lift the fence (manager only, after a completed resync)."""
+        self.fenced = False
 
     def restart(self) -> None:
         """Boot a fresh daemon process on the same node: cold page cache,
-        contents re-served from the (durable) byte store."""
+        contents re-served from the (durable) byte store.  A *fenced*
+        daemon restarts into the resync protocol instead of service: it
+        stays fenced (refusing all requests) until the dirty ranges it
+        missed are copied back from live chain members and the manager
+        acknowledges its rejoin."""
         if self.alive:
             return
         self.alive = True
@@ -164,6 +227,10 @@ class IOD:
         self.inbox.total_put = old.total_put
         self.scope.add("restarts")
         self._proc = self.sim.process(self._run(), name=f"iod{self.index}")
+        if self.fenced and self.cluster is not None:
+            self._rejoin_proc = self.sim.process(
+                self._rejoin(), name=f"iod{self.index}.rejoin"
+            )
 
     def recovery_time(self) -> Optional[float]:
         """Seconds from the most recent crash until the restarted daemon
@@ -204,18 +271,20 @@ class IOD:
             scope.add("fsyncs")
             self._spawn_response(req, True)
         elif req.kind == "read":
-            disk_t = self.disk.read_time(req.file_id, req.regions) * scale
+            disk_t = self.disk.read_time(req.store_key, req.regions) * scale
             disk_t *= self.disk.fault_scale
             if disk_t > 0:
                 t_disk = sim.now
                 yield sim.timeout(disk_t)
                 self._note_disk(t_disk, sim.now, "read", req.regions.total_bytes)
-            data = self.store.read(req.file_id, req.regions) if self.move_bytes else None
+            data = (
+                self.store.read(req.store_key, req.regions) if self.move_bytes else None
+            )
             scope.add("read_requests")
             scope.add("read_bytes", req.regions.total_bytes)
             self._spawn_response(req, data)
         else:  # write
-            disk_t = self.disk.write_time(req.file_id, req.regions)
+            disk_t = self.disk.write_time(req.store_key, req.regions)
             disk_t += costs.iod_write_commit_cost
             if self.disk.cache.cfg.write_through:
                 # Synchronous small overwrites pay a read-modify-write of
@@ -227,7 +296,7 @@ class IOD:
             yield sim.timeout(disk_t * scale * self.disk.fault_scale)
             self._note_disk(t_disk, sim.now, "write", req.regions.total_bytes)
             if self.move_bytes and req.data is not None:
-                self.store.write(req.file_id, req.regions, req.data)
+                self.store.write(req.store_key, req.regions, req.data)
             scope.add("write_requests")
             scope.add("write_bytes", req.regions.total_bytes)
             self._spawn_response(req, True)
@@ -253,6 +322,111 @@ class IOD:
                 iod=self.index,
                 regions=n,
                 nbytes=req.regions.total_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Resync / rejoin (replication only)
+    # ------------------------------------------------------------------
+    def _resync_source(self, entry):
+        """First live, unfenced chain member of a dirty entry (chain order,
+        so the primary is preferred); None when no copy is reachable."""
+        for member in entry.chain:
+            if member == self.index:
+                continue
+            peer = self.cluster.iods[member]
+            if peer.alive and not peer.fenced:
+                return peer
+        return None
+
+    def _rejoin(self):
+        """Resync protocol of a restarted fenced daemon.
+
+        For every dirty range recorded while this daemon was fenced, read
+        the bytes back from a live chain member over the real request path
+        (network + the source's parse/disk costs), write them to the local
+        disk/store, and finally ask the manager to lift the fence.  The
+        daemon keeps refusing client requests throughout — only a complete
+        resync rejoins; a partial one (no live source, or the source died
+        mid-copy) leaves it fenced with its remaining dirty ranges intact
+        for the next attempt.
+        """
+        sim = self.sim
+        state = self.cluster.replication
+        t0 = sim.now
+        copied = 0
+        incomplete = False
+        entries = state.dirty_for(self.index)
+        try:
+            for entry in list(entries):
+                source = self._resync_source(entry)
+                if source is None:
+                    incomplete = True
+                    continue
+                req = IORequest(
+                    kind="read",
+                    file_id=entry.file_id,
+                    regions=entry.regions,
+                    client_node=self.node,
+                    response=Event(sim),
+                    replica_of=(
+                        entry.primary if source.index != entry.primary else None
+                    ),
+                )
+                try:
+                    yield from self.net.transfer(
+                        self.node, source.node, req.wire_bytes
+                    )
+                    source.deliver(req)
+                    data = yield req.response
+                except FaultError:
+                    incomplete = True  # source died mid-copy; keep it dirty
+                    continue
+                key = (
+                    entry.file_id
+                    if entry.primary == self.index
+                    else (entry.file_id, entry.primary)
+                )
+                write_t = (
+                    self.disk.write_time(key, entry.regions)
+                    * self._scale()
+                    * self.disk.fault_scale
+                )
+                if write_t > 0:
+                    t_disk = sim.now
+                    yield sim.timeout(write_t)
+                    self._note_disk(
+                        t_disk, sim.now, "resync", entry.regions.total_bytes
+                    )
+                if self.move_bytes and data is not None:
+                    self.store.write(key, entry.regions, data)
+                copied += entry.regions.total_bytes
+                entries.remove(entry)
+            if incomplete:
+                state.note(
+                    sim.now,
+                    f"iod{self.index} resync incomplete "
+                    f"({state.dirty_bytes(self.index)} B still dirty); staying fenced",
+                )
+                return
+            mgr = self.cluster.manager
+            mreq = ManagerRequest(
+                op="rejoin", iod=self.index, client_node=self.node,
+                response=Event(sim),
+            )
+            yield from self.net.transfer(self.node, mgr.node, mreq.wire_bytes)
+            mgr.inbox.put(mreq)
+            yield mreq.response
+        except Interrupt:
+            return  # crashed again mid-resync; dirty ranges remain recorded
+        self.resyncs += 1
+        self.resync_bytes += copied
+        self.scope.add("resyncs")
+        self.scope.add("resync_bytes", copied)
+        state.note(sim.now, f"iod{self.index} resynced {copied} B and rejoined")
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(
+                "fault.resync", f"iod{self.index}", t0, sim.now,
+                iod=self.index, nbytes=copied,
             )
 
     def _note_disk(self, start: float, end: float, kind: str, nbytes: int) -> None:

@@ -5,6 +5,14 @@ manager replies with file metadata (handle, striping parameters, size, and
 implicitly the I/O daemon locations).  It never participates in data
 transfer (paper Section 2), so its only performance role in the benchmarks
 is the open/close cost visible in the tiled-visualization figure (Fig. 17).
+
+Under replication the manager additionally arbitrates membership: a
+``report_failure`` op from a client whose retry budget exhausted *fences*
+the named daemon with a fresh epoch token (forcibly killing an
+alive-but-unresponsive zombie, PVC STONITH style) and republishes the
+stripe map (the shared :class:`~repro.pvfs.replication.ReplicationState`
+clients consult for routing); a ``rejoin`` op from a resynced daemon
+lifts the fence.
 """
 
 from __future__ import annotations
@@ -52,6 +60,12 @@ class Manager:
         self.counters = counters if counters is not None else Counters()
         self.inbox: Store = Store(sim, name="manager.inbox")
         self.ops_served = 0
+        #: Replication wiring, set by :class:`~repro.pvfs.cluster.Cluster`:
+        #: the shared fencing/dirty-range state, the daemon list (for
+        #: STONITH on fence / unfence on rejoin), and the tracer.
+        self.replication = None
+        self.iods = []
+        self.tracer = None
         sim.process(self._run(), name="manager")
 
     # ------------------------------------------------------------------
@@ -91,7 +105,39 @@ class Manager:
         if req.op == "unlink":
             ns.unlink(req.path)
             return True
+        if req.op == "report_failure":
+            return self._fence(req.iod)
+        if req.op == "rejoin":
+            return self._rejoin(req.iod)
         raise PVFSError(f"unhandled op {req.op}")  # pragma: no cover
+
+    # -- fencing (replication only) -------------------------------------
+    def _fence(self, iod_index: int):
+        """Fence an unresponsive daemon and republish the stripe map."""
+        state = self.replication
+        if state is None:
+            raise PVFSError("replication is not enabled on this cluster")
+        now = self.sim.now
+        epoch = state.fence(iod_index, now)
+        if epoch is not None:  # first report wins; later ones are no-ops
+            self.iods[iod_index].fence(epoch)
+            self.counters.add("faults.fences")
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.record(
+                    "fault.fence", f"iod{iod_index}", now, now,
+                    iod=iod_index, epoch=epoch,
+                )
+        return state.view()
+
+    def _rejoin(self, iod_index: int):
+        """Lift the fence of a daemon that finished its resync."""
+        state = self.replication
+        if state is None:
+            raise PVFSError("replication is not enabled on this cluster")
+        state.unfence(iod_index, self.sim.now)
+        self.iods[iod_index].unfence()
+        self.counters.add("faults.rejoins")
+        return state.view()
 
     @staticmethod
     def _snapshot(meta: FileMetadata) -> _MetaReply:

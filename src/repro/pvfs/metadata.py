@@ -33,6 +33,11 @@ class FileMetadata:
         if end > self.size:
             self.size = end
 
+    @property
+    def replicas(self) -> int:
+        """Copies per stripe (chain replication); 1 = the paper's layout."""
+        return self.stripe.replicas
+
 
 class Namespace:
     """The manager's path table."""

@@ -96,6 +96,12 @@ class IORequest:
     #: regardless of region count) — the Section 5 "datatype request"
     #: extension.  ``None`` means one slot per region (plain list I/O).
     wire_regions: Optional[int] = None
+    #: Replication: when set, this request targets the *replica copy* of
+    #: the stripes whose primary is daemon ``replica_of``, stored on the
+    #: receiving daemon under the ``(file_id, replica_of)`` key (see
+    #: :attr:`store_key`).  ``None`` = the primary copy — the only case
+    #: that exists without replication, keeping the paper path unchanged.
+    replica_of: Optional[int] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     #: Simulation time the request entered the iod's inbox (set by the
     #: client; lets the tracer separate queue wait from service time).
@@ -118,6 +124,16 @@ class IORequest:
     @property
     def n_described(self) -> int:
         return self.regions.count
+
+    @property
+    def store_key(self):
+        """Byte-store / disk-model key on the receiving daemon: the bare
+        ``file_id`` for primary copies, ``(file_id, primary)`` for replica
+        copies — mirrors live at the same physical offsets as the primary
+        stripes, so they need their own namespace on the host daemon."""
+        if self.replica_of is None:
+            return self.file_id
+        return (self.file_id, self.replica_of)
 
     @property
     def data_bytes(self) -> int:
@@ -149,8 +165,20 @@ class ManagerRequest:
     #: User-controlled striping for create (paper Figure 2: "files in PVFS
     #: can be striped according to user parameters").  None = fs default.
     stripe: object = None
+    #: Target daemon of a fencing operation (``report_failure`` names the
+    #: unresponsive daemon; ``rejoin`` the resynced one asking back in).
+    iod: Optional[int] = None
 
-    _OPS = ("open", "close", "stat", "create", "set_size", "unlink")
+    _OPS = (
+        "open",
+        "close",
+        "stat",
+        "create",
+        "set_size",
+        "unlink",
+        "report_failure",
+        "rejoin",
+    )
 
     def __post_init__(self) -> None:
         if self.op not in self._OPS:

@@ -22,9 +22,16 @@ from typing import Iterator, List, Tuple
 import numpy as np
 
 from ..config import StripeParams
+from ..errors import ConfigError
 from ..regions import RegionList, build_flat_indices
 
-__all__ = ["StripeMap", "ServerSlice", "map_regions", "server_for_offset"]
+__all__ = [
+    "StripeMap",
+    "ServerSlice",
+    "map_regions",
+    "replica_chain",
+    "server_for_offset",
+]
 
 #: Shared read-only stream offset for the single-piece fast case below.
 _ZERO1 = np.zeros(1, dtype=np.int64)
@@ -36,6 +43,26 @@ def server_for_offset(offset: int, stripe: StripeParams, n_iods: int) -> int:
     pcount = stripe.resolve_pcount(n_iods)
     unit = offset // stripe.stripe_size
     return (stripe.base + unit % pcount) % n_iods
+
+
+def replica_chain(primary: int, replicas: int, n_iods: int) -> Tuple[int, ...]:
+    """Chain placement of a stripe's copies: copy ``k`` of a stripe whose
+    primary is daemon ``primary`` lives on ``(primary + k) % n_iods``.
+
+    The chain starts with the primary itself; successive copies land on the
+    following daemons, so all ``replicas`` copies sit on distinct daemons
+    whenever ``replicas <= n_iods`` (validated by
+    :meth:`~repro.config.StripeParams.resolve_replicas`).  Replica copies
+    are stored under a ``(file_id, primary)`` key on their host, so a
+    mirror never collides with the host's own primary stripes at the same
+    physical offsets.
+    """
+    if not 1 <= replicas <= n_iods:
+        raise ConfigError(
+            f"replica chain needs 1 <= replicas <= n_iods, got "
+            f"replicas={replicas} n_iods={n_iods}"
+        )
+    return tuple((primary + k) % n_iods for k in range(replicas))
 
 
 @dataclass(frozen=True)

@@ -184,6 +184,10 @@ class ChaosSpec:
     benchmark: str
     scale: Any  # experiments.presets.Scale
     restart_after: float = 2.0
+    #: Chain replication: copies per stripe and write-ack policy.  Spec
+    #: fields, so both enter the cache key via :func:`canonical`.
+    replicas: int = 1
+    ack: str = "primary"
 
     def run(self, obs=None):
         from ..experiments.chaos import run_scenario
@@ -193,6 +197,8 @@ class ChaosSpec:
             benchmark=self.benchmark,
             scale=self.scale,
             restart_after=self.restart_after,
+            replicas=self.replicas,
+            ack=self.ack,
         )
 
     def cache_token(self) -> Dict[str, Any]:

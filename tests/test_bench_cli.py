@@ -119,7 +119,7 @@ def test_dispatch_through_pvfs_sim_entry_point(capsys):
 
 def test_suite_covers_every_figure_family_and_substrate():
     families = {sc.family for sc in SUITE}
-    assert families == {"artificial", "flash", "tiled", "collective", "micro"}
+    assert families == {"artificial", "flash", "tiled", "collective", "micro", "robust"}
     # every scenario builds at least one spec at smoke scale
     for name in scenario_names():
         assert build_specs(name, SMOKE)
