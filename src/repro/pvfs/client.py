@@ -323,12 +323,17 @@ class PVFSFile:
     def _replicated_write(self, sl, chain, payload, wire_regions):
         """Write the slice to every live chain member; ack per policy.
 
-        ``primary`` ack returns once the first live member (chain order)
-        acknowledges — the rest complete in the background and are joined
-        by :meth:`close`/:meth:`fsync`.  ``quorum`` ack waits for a strict
-        majority of the chain.  A member that is fenced (or fails and gets
-        fenced) has its missed range recorded dirty for the resync
-        protocol; the write only fails when *no* copy lands.
+        ``primary`` ack returns once the first member acknowledges — acks
+        are raced and counted in completion order, so a slow-failing
+        member never delays an ack another member already produced — and
+        the rest complete in the background, joined by
+        :meth:`close`/:meth:`fsync`.  ``quorum`` ack waits for a strict
+        majority of the *chain* (not of whoever happens to be live): with
+        too many members fenced or lost the write raises
+        :class:`~repro.errors.RetryExhausted` rather than silently
+        degrading durability below a majority.  A member that is fenced
+        (or fails and gets fenced) has its missed range recorded dirty for
+        the resync protocol.
         """
         client = self.client
         sim = client.sim
@@ -365,30 +370,42 @@ class PVFSFile:
                 attempts=0,
                 last_error=None,
             )
-        if state.ack_policy == "quorum":
-            needed = min(len(chain) // 2 + 1, len(procs))
-        else:
-            needed = 1
+        needed = len(chain) // 2 + 1 if state.ack_policy == "quorum" else 1
+        if len(procs) < needed:
+            # Quorum with a majority of the chain already fenced: the live
+            # writes still land (idempotent; drained by close()/fsync())
+            # but the slice must not claim quorum durability.
+            client._pending_replica.extend(procs)
+            raise RetryExhausted(
+                f"quorum write to the chain of iod{sl.server} needs {needed} "
+                f"of {len(chain)} members but only {len(procs)} are live",
+                attempts=0,
+                last_error=None,
+            )
         acked = 0
-        waited = 0  # members joined so far, in chain order
-        for proc in procs:
-            ok = yield proc
-            waited += 1
-            if ok:
-                acked += 1
-            elif t_detected is None:
-                t_detected = sim.now
-            if acked >= needed:
-                break
+        outstanding = list(procs)
+        while outstanding and acked < needed:
+            # Race the members: acks count in completion order, so a slow
+            # failure on an earlier chain member cannot delay a later ack.
+            yield sim.any_of(outstanding)
+            remaining = []
+            for proc in outstanding:
+                if not proc.triggered:
+                    remaining.append(proc)
+                elif proc.value:  # _member_write: True=ack, False=member lost
+                    acked += 1
+                elif t_detected is None:
+                    t_detected = sim.now
+            outstanding = remaining
         # Members past the ack point finish in the background; close() and
         # fsync() join them so acknowledged-then-closed data is fully
         # replicated on every live copy.
-        client._pending_replica.extend(procs[waited:])
-        if acked == 0:
+        client._pending_replica.extend(outstanding)
+        if acked < needed:
             raise RetryExhausted(
-                f"no chain member of iod{sl.server} acknowledged a write of "
-                f"file {self.file_id}",
-                attempts=waited,
+                f"write to the chain of iod{sl.server} got {acked} ack(s) "
+                f"but the {state.ack_policy} policy needs {needed}",
+                attempts=len(procs),
                 last_error=None,
             )
         if t_detected is not None:

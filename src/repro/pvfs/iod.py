@@ -349,73 +349,88 @@ class IOD:
         resync rejoins; a partial one (no live source, or the source died
         mid-copy) leaves it fenced with its remaining dirty ranges intact
         for the next attempt.
+
+        Writes keep arriving while the resync runs (clients mark the
+        ranges this still-fenced daemon misses dirty), so one pass over a
+        snapshot is not enough: the copy loop repeats until the live dirty
+        list is empty, and if the manager refuses the rejoin because a
+        write raced the rejoin round-trip itself, the new arrivals are
+        copied and the rejoin retried.  Only an actually-empty dirty list
+        ever gets this daemon unfenced.
         """
         sim = self.sim
         state = self.cluster.replication
         t0 = sim.now
         copied = 0
-        incomplete = False
-        entries = state.dirty_for(self.index)
+        entries = state.dirty_for(self.index)  # live list; clients append
         try:
-            for entry in list(entries):
-                source = self._resync_source(entry)
-                if source is None:
-                    incomplete = True
-                    continue
-                req = IORequest(
-                    kind="read",
-                    file_id=entry.file_id,
-                    regions=entry.regions,
-                    client_node=self.node,
+            while True:
+                incomplete = False
+                for entry in list(entries):
+                    source = self._resync_source(entry)
+                    if source is None:
+                        incomplete = True
+                        continue
+                    req = IORequest(
+                        kind="read",
+                        file_id=entry.file_id,
+                        regions=entry.regions,
+                        client_node=self.node,
+                        response=Event(sim),
+                        replica_of=(
+                            entry.primary if source.index != entry.primary else None
+                        ),
+                    )
+                    try:
+                        yield from self.net.transfer(
+                            self.node, source.node, req.wire_bytes
+                        )
+                        source.deliver(req)
+                        data = yield req.response
+                    except FaultError:
+                        incomplete = True  # source died mid-copy; keep it dirty
+                        continue
+                    key = (
+                        entry.file_id
+                        if entry.primary == self.index
+                        else (entry.file_id, entry.primary)
+                    )
+                    write_t = (
+                        self.disk.write_time(key, entry.regions)
+                        * self._scale()
+                        * self.disk.fault_scale
+                    )
+                    if write_t > 0:
+                        t_disk = sim.now
+                        yield sim.timeout(write_t)
+                        self._note_disk(
+                            t_disk, sim.now, "resync", entry.regions.total_bytes
+                        )
+                    if self.move_bytes and data is not None:
+                        self.store.write(key, entry.regions, data)
+                    copied += entry.regions.total_bytes
+                    entries.remove(entry)
+                if incomplete:
+                    state.note(
+                        sim.now,
+                        f"iod{self.index} resync incomplete "
+                        f"({state.dirty_bytes(self.index)} B still dirty); "
+                        f"staying fenced",
+                    )
+                    return
+                if entries:
+                    continue  # writes raced the copy loop; resync them too
+                mgr = self.cluster.manager
+                mreq = ManagerRequest(
+                    op="rejoin", iod=self.index, client_node=self.node,
                     response=Event(sim),
-                    replica_of=(
-                        entry.primary if source.index != entry.primary else None
-                    ),
                 )
-                try:
-                    yield from self.net.transfer(
-                        self.node, source.node, req.wire_bytes
-                    )
-                    source.deliver(req)
-                    data = yield req.response
-                except FaultError:
-                    incomplete = True  # source died mid-copy; keep it dirty
-                    continue
-                key = (
-                    entry.file_id
-                    if entry.primary == self.index
-                    else (entry.file_id, entry.primary)
-                )
-                write_t = (
-                    self.disk.write_time(key, entry.regions)
-                    * self._scale()
-                    * self.disk.fault_scale
-                )
-                if write_t > 0:
-                    t_disk = sim.now
-                    yield sim.timeout(write_t)
-                    self._note_disk(
-                        t_disk, sim.now, "resync", entry.regions.total_bytes
-                    )
-                if self.move_bytes and data is not None:
-                    self.store.write(key, entry.regions, data)
-                copied += entry.regions.total_bytes
-                entries.remove(entry)
-            if incomplete:
-                state.note(
-                    sim.now,
-                    f"iod{self.index} resync incomplete "
-                    f"({state.dirty_bytes(self.index)} B still dirty); staying fenced",
-                )
-                return
-            mgr = self.cluster.manager
-            mreq = ManagerRequest(
-                op="rejoin", iod=self.index, client_node=self.node,
-                response=Event(sim),
-            )
-            yield from self.net.transfer(self.node, mgr.node, mreq.wire_bytes)
-            mgr.inbox.put(mreq)
-            yield mreq.response
+                yield from self.net.transfer(self.node, mgr.node, mreq.wire_bytes)
+                mgr.inbox.put(mreq)
+                yield mreq.response
+                if state.is_fenced(self.index):
+                    continue  # refused: a write raced the rejoin round-trip
+                break
         except Interrupt:
             return  # crashed again mid-resync; dirty ranges remain recorded
         self.resyncs += 1

@@ -130,10 +130,25 @@ class Manager:
         return state.view()
 
     def _rejoin(self, iod_index: int):
-        """Lift the fence of a daemon that finished its resync."""
+        """Lift the fence of a daemon that finished its resync.
+
+        Refused (the daemon stays fenced) while any dirty range is still
+        recorded for it — a write can race the rejoin round-trip, and a
+        replica readmitted with missed writes would serve stale bytes.
+        The daemon sees itself still fenced in the returned view, copies
+        the new arrivals, and asks again.
+        """
         state = self.replication
         if state is None:
             raise PVFSError("replication is not enabled on this cluster")
+        dirty = state.dirty_bytes(iod_index)
+        if dirty > 0:
+            state.note(
+                self.sim.now,
+                f"iod{iod_index} rejoin refused ({dirty} B still dirty)",
+            )
+            self.counters.add("faults.rejoins_refused")
+            return state.view()
         state.unfence(iod_index, self.sim.now)
         self.iods[iod_index].unfence()
         self.counters.add("faults.rejoins")

@@ -241,6 +241,77 @@ class TestResync:
         assert counters.get("faults.fences", 0) == 2  # iod1, then iod0
         assert cluster.replication.dirty_bytes(1) == 0
 
+    def test_write_racing_resync_is_copied_before_rejoin(self):
+        # The rejoin race: a write that lands while the resync is already
+        # running appends to the live dirty list — the daemon must copy it
+        # too (and the manager must refuse a rejoin while anything is
+        # dirty) before it is unfenced, or later failover reads would
+        # serve stale bytes.
+        n_iods = 8
+        stripe = 64 * 1024
+        N = n_iods * stripe
+        v1 = _bytes(N)
+        v2 = _bytes(N, mult=151, add=29)
+        v3 = _bytes(4096, mult=157, add=41)  # racing write, stripe 0 only
+        plan = FaultPlan(
+            (
+                IodCrash(iod=1, at=0.3, restart_after=1.0),
+                IodCrash(iod=0, at=6.0, restart_after=60.0),
+            )
+        )
+        cluster = _cluster(replicas=2, plan=plan)
+        sim = cluster.sim
+        state = cluster.replication
+        fenced_at_race = []
+
+        def wl(client):
+            f = yield from client.open("/t", create=True)
+            yield from f.write(0, v1)  # healthy, fully replicated
+            yield from _wait_until(sim, 0.5)  # iod1 died at 0.3
+            yield from f.write(0, v2)  # iod1's copies go dirty
+            yield from _wait_until(sim, 1.3001)  # iod1 restarted; resync live
+            fenced_at_race.append(state.is_fenced(1))
+            t_race = sim.now
+            yield from f.write(0, v3)  # races the in-flight resync
+            yield from _wait_until(sim, 6.5)  # iod0 died at 6.0
+            out = yield from f.read(0, N)  # stripe 0 must come from iod1
+            yield from f.close()
+            return out, t_race
+
+        res = cluster.run_workload(wl)
+        out, t_race = res.client_returns[0]
+        # The race actually happened: iod1 was still fenced (mid-resync)
+        # when the v3 write was issued.
+        assert fenced_at_race == [True]
+        expect = v2.copy()
+        expect[: v3.size] = v3
+        assert np.array_equal(out, expect)
+        assert state.dirty_bytes(1) == 0
+        # iod1 only rejoined after the racing write was issued.
+        t_unfence = [t for (t, iod, _e) in state.unfences if iod == 1]
+        assert t_unfence and t_unfence[0] >= t_race
+
+    def test_manager_refuses_rejoin_while_dirty(self):
+        # Defense in depth: even a buggy/racing rejoin request must not
+        # readmit a replica that still has recorded dirty ranges.
+        cluster = _cluster(replicas=2)
+        state = cluster.replication
+        epoch = state.fence(1, now=0.0)
+        cluster.iods[1].fence(epoch)
+        state.mark_dirty(1, 7, 0, (0, 1), RegionList.single(0, 64))
+        view = cluster.manager._rejoin(1)
+        assert 1 in view.fenced
+        assert state.is_fenced(1)
+        assert cluster.iods[1].fenced
+        assert cluster.counters.get("faults.rejoins_refused", 0) == 1
+        assert cluster.counters.get("faults.rejoins", 0) == 0
+        # Once the dirty list drains, the same request is accepted.
+        state.dirty_for(1).clear()
+        view = cluster.manager._rejoin(1)
+        assert 1 not in view.fenced
+        assert not state.is_fenced(1)
+        assert cluster.counters.get("faults.rejoins", 0) == 1
+
     def test_quorum_ack_tolerates_minority_loss(self):
         plan = FaultPlan((IodCrash(iod=1, at=0.05, restart_after=60.0),))
         cluster = _cluster(replicas=3, ack="quorum", plan=plan)
@@ -257,6 +328,68 @@ class TestResync:
 
         res = cluster.run_workload(wl)
         assert np.array_equal(res.client_returns[0], data)
+        assert cluster.counters.get("faults.fences", 0) == 1
+
+
+# ---------------------------------------------------------------------------
+# Ack policies
+# ---------------------------------------------------------------------------
+class TestAckPolicies:
+    def test_quorum_requires_chain_majority(self):
+        # Quorum is a strict majority of the *chain*, not of whoever is
+        # live: with 2 of 3 members gone a single ack must not satisfy it.
+        plan = FaultPlan(
+            (
+                IodCrash(iod=1, at=0.05, restart_after=60.0),
+                IodCrash(iod=2, at=0.05, restart_after=60.0),
+            )
+        )
+        cluster = _cluster(replicas=3, ack="quorum", plan=plan)
+        data = _bytes(4096)
+        errors = []
+
+        def wl(client):
+            f = yield from client.open("/t", create=True)
+            yield from _wait_until(client.sim, 0.1)  # iod1, iod2 dead
+            # First write discovers the losses (members fail + get fenced):
+            # 1 ack of a needed 2 -> no quorum.
+            try:
+                yield from f.write(0, data)
+            except RetryExhausted as exc:
+                errors.append(exc)
+            # Second write sees both members already fenced and must fail
+            # up front instead of degrading to a 1-ack "quorum".
+            try:
+                yield from f.write(0, data)
+            except RetryExhausted as exc:
+                errors.append(exc)
+
+        cluster.run_workload(wl)
+        assert len(errors) == 2
+        assert cluster.counters.get("faults.fences", 0) == 2
+
+    def test_primary_ack_counts_completion_order(self):
+        # A slow-failing first chain member (straggler burning the full
+        # retry/timeout budget) must not delay the ack a healthy replica
+        # produced immediately: acks race in completion order.
+        cluster = _cluster(replicas=2)
+        sim = cluster.sim
+        durations = []
+
+        def wl(client):
+            # iod0 accepts requests but never finishes serving them, so
+            # writes to it fail only after the full timeout budget (~3 s).
+            client.cluster.iods[0].service_scale = 1e9
+            f = yield from client.open("/t", create=True)
+            t0 = sim.now
+            yield from f.write(0, _bytes(4096))  # chain (0, 1)
+            durations.append(sim.now - t0)
+            yield from f.close()
+
+        cluster.run_workload(wl)
+        # Old chain-order join: > 3 s (iod0's budget). Completion-order
+        # race: the ack arrives as soon as iod1 commits.
+        assert durations and durations[0] < 1.0
         assert cluster.counters.get("faults.fences", 0) == 1
 
 
