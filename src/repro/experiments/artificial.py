@@ -21,26 +21,37 @@ from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
-__all__ = ["figure9", "figure10", "figure11", "figure12"]
+__all__ = ["figure9", "figure10", "figure11", "figure12", "build_specs"]
 
 _READ_METHODS = ("multiple", "datasieve", "list")
 _WRITE_METHODS = ("multiple", "list")
 
+#: figure number -> (figure label, pattern recipe, methods, direction,
+#: which Scale client list drives the sweep).  One row per artificial
+#: figure so spec construction has a single source of truth shared by
+#: the drivers and the service job builders.
+FIGURE_RECIPES = {
+    "9": ("fig09", "one_dim_cyclic", _READ_METHODS, "read", "cyclic_clients"),
+    "10": ("fig10", "one_dim_cyclic", _WRITE_METHODS, "write", "cyclic_clients"),
+    "11": ("fig11", "block_block", _READ_METHODS, "read", "blockblock_clients"),
+    "12": ("fig12", "block_block", _WRITE_METHODS, "write", "blockblock_clients"),
+}
 
-def _run_sweep(
+
+def build_specs(
     figure: str,
-    pattern_name: str,
-    methods: Sequence[str],
-    kind: str,
     scale: Scale,
     mode: str,
-    clients: Optional[Sequence[int]],
-    accesses: Optional[Sequence[int]],
-    obs=None,
+    clients: Optional[Sequence[int]] = None,
+    accesses: Optional[Sequence[int]] = None,
     faults=None,
-    jobs: int = 1,
-    cache=None,
-) -> Tuple[List[DataPoint], object]:
+) -> List[PointSpec]:
+    """The sweep specs of one artificial figure (9/10/11/12) — exactly
+    the points the figure driver runs, importable without running them
+    (the service's ``figure`` jobs are built from this)."""
+    label, pattern_name, methods, kind, client_attr = FIGURE_RECIPES[figure]
+    clients = tuple(clients or getattr(scale, client_attr))
+    accesses = tuple(accesses or scale.accesses_sweep)
     specs: List[PointSpec] = []
     for n_clients in clients:
         cfg = ClusterConfig.chiba_city(n_clients=n_clients)
@@ -52,7 +63,7 @@ def _run_sweep(
             for method in methods:
                 specs.append(
                     PointSpec(
-                        figure=figure,
+                        figure=label,
                         pattern=pattern_name,
                         pattern_args=(scale.artificial_total, n_clients, acc),
                         method=method,
@@ -62,7 +73,25 @@ def _run_sweep(
                         x=acc,
                     )
                 )
-    return run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label=figure)
+    return specs
+
+
+def _run_sweep(
+    figure: str,
+    scale: Scale,
+    mode: str,
+    clients: Optional[Sequence[int]],
+    accesses: Optional[Sequence[int]],
+    obs=None,
+    faults=None,
+    jobs: int = 1,
+    cache=None,
+) -> Tuple[List[DataPoint], object]:
+    specs = build_specs(
+        figure, scale, mode, clients=clients, accesses=accesses, faults=faults
+    )
+    label = FIGURE_RECIPES[figure][0]
+    return run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label=label)
 
 
 def _monotone_check(result_points, series, n_clients, label) -> Check:
@@ -127,7 +156,7 @@ def figure9(
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points, stats = _run_sweep(
-        "fig09", "one_dim_cyclic", _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
+        "9", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -168,7 +197,7 @@ def figure10(
     clients = tuple(clients or scale.cyclic_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points, stats = _run_sweep(
-        "fig10", "one_dim_cyclic", _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
+        "10", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -199,7 +228,7 @@ def figure11(
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points, stats = _run_sweep(
-        "fig11", "block_block", _READ_METHODS, "read", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
+        "11", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:
@@ -244,7 +273,7 @@ def figure12(
     clients = tuple(clients or scale.blockblock_clients)
     accesses = tuple(accesses or scale.accesses_sweep)
     points, stats = _run_sweep(
-        "fig12", "block_block", _WRITE_METHODS, "write", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
+        "12", scale, mode, clients, accesses, obs=obs, faults=faults, jobs=jobs, cache=cache
     )
     checks: List[Check] = []
     for n in clients:

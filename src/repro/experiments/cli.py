@@ -34,6 +34,13 @@ regression suite and gates on a committed baseline — see
     pvfs-sim bench run --scale smoke --out BENCH_ci.json
     pvfs-sim bench compare benchmarks/baseline_smoke.json BENCH_ci.json
 
+Service mode: the ``serve`` subcommand runs a long-lived HTTP/JSON
+daemon fronting the sweep engine, and ``submit``/``status``/``wait``/
+``fetch``/``jobs`` are the thin client — see ``docs/service.md``::
+
+    pvfs-sim serve --port 8642 &
+    pvfs-sim submit figure 9 --scale smoke --mode des --wait
+
 Observability (DES mode only): ``--trace-out FILE.json`` captures every
 simulated run and writes the longest one as a Perfetto-loadable trace
 (open it at ``ui.perfetto.dev``); ``--report`` prints the bottleneck
@@ -55,7 +62,7 @@ from .presets import SCALES
 from .report import FigureResult, points_to_csv
 from .tiledvis import figure17
 
-__all__ = ["main", "FIGURES"]
+__all__ = ["main", "FIGURES", "SUBCOMMANDS"]
 
 #: 9-17 are the paper's results figures; 18 is this repository's extension
 #: experiment (two-phase collective I/O), DES-only.
@@ -70,10 +77,39 @@ FIGURES: Dict[str, Callable] = {
 }
 
 
+#: Every subcommand main() dispatches before argparse sees the argv.
+#: ``pvfs-sim --help`` prints this table so the top-level help can never
+#: drift out of sync with the dispatcher again (tests pin the two).
+SUBCOMMANDS: Dict[str, str] = {
+    "obs": "summarize a saved trace or metrics file",
+    "chaos": "run benchmarks under injected faults (docs/faults.md)",
+    "bench": "deterministic regression suite: run|compare|list (docs/benchmarking.md)",
+    "profile": "kernel + host profiling of the suite (docs/performance.md)",
+    "serve": "run the simulation service daemon (docs/service.md)",
+    "submit": "submit a figure/chaos/bench/spec-file job to the daemon",
+    "status": "one service job's state and progress",
+    "wait": "block until a service job finishes",
+    "fetch": "download a finished service job's points",
+    "jobs": "list jobs on the daemon",
+}
+
+_SERVICE_COMMANDS = ("serve", "submit", "status", "wait", "fetch", "jobs")
+
+
+def _subcommand_epilog() -> str:
+    width = max(len(name) for name in SUBCOMMANDS)
+    lines = ["subcommands (run 'pvfs-sim CMD --help' for each):"]
+    for name, text in SUBCOMMANDS.items():
+        lines.append(f"  {name:<{width}}  {text}")
+    return "\n".join(lines)
+
+
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="pvfs-sim",
         description="Reproduce 'Noncontiguous I/O through PVFS' (CLUSTER 2002)",
+        epilog=_subcommand_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     g = p.add_mutually_exclusive_group(required=True)
     g.add_argument("--figure", choices=sorted(FIGURES, key=int), help="figure number")
@@ -173,6 +209,11 @@ def main(argv: List[str] | None = None) -> int:
         from ..obs.profcli import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        # `pvfs-sim serve|submit|status|wait|fetch|jobs` — the service.
+        from ..service.cli import main as service_main
+
+        return service_main(argv)
     args = _parser().parse_args(argv)
     scale = SCALES[args.scale]
     mode = args.mode or ("model" if not scale.des_friendly else "des")

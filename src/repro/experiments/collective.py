@@ -34,7 +34,43 @@ from .harness import DataPoint
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
-__all__ = ["figure18"]
+__all__ = ["figure18", "build_specs"]
+
+
+def build_specs(
+    scale: Scale,
+    clients: Optional[Sequence[int]] = None,
+    faults=None,
+) -> List[object]:
+    """The sweep specs of Figure 18 — the driver's exact points,
+    importable without running them (service ``figure`` jobs).
+
+    Callers are responsible for the ``des_friendly`` fallback that
+    :func:`figure18` applies (scales too large for the simulator run at
+    the ``scaled`` preset instead).
+    """
+    clients = tuple(clients or scale.flash_clients)
+    specs: List[object] = []
+    for n in clients:
+        cfg = ClusterConfig.chiba_city(n_clients=n)
+        if faults is not None:
+            cfg = cfg.with_(faults=faults)
+        for method in ("multiple", "list"):
+            specs.append(
+                PointSpec(
+                    figure="fig18",
+                    pattern="flash_io",
+                    pattern_args=(n, scale.flash),
+                    method=method,
+                    kind="write",
+                    mode="des",
+                    cfg=cfg,
+                    x=n,
+                )
+            )
+        specs.append(MpiioSpec(scale=scale, n_ranks=n, collective=False, faults=faults))
+        specs.append(MpiioSpec(scale=scale, n_ranks=n, collective=True, faults=faults))
+    return specs
 
 
 def _mpiio_point(
@@ -108,26 +144,7 @@ def figure18(
     if not scale.des_friendly:
         scale = SCALED
     clients = tuple(clients or scale.flash_clients)
-    specs: List[object] = []
-    for n in clients:
-        cfg = ClusterConfig.chiba_city(n_clients=n)
-        if faults is not None:
-            cfg = cfg.with_(faults=faults)
-        for method in ("multiple", "list"):
-            specs.append(
-                PointSpec(
-                    figure="fig18",
-                    pattern="flash_io",
-                    pattern_args=(n, scale.flash),
-                    method=method,
-                    kind="write",
-                    mode="des",
-                    cfg=cfg,
-                    x=n,
-                )
-            )
-        specs.append(MpiioSpec(scale=scale, n_ranks=n, collective=False, faults=faults))
-        specs.append(MpiioSpec(scale=scale, n_ranks=n, collective=True, faults=faults))
+    specs = build_specs(scale, clients=clients, faults=faults)
     points, stats = run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label="fig18")
 
     checks: List[Check] = []

@@ -25,30 +25,21 @@ from ..sweep import PointSpec, run_sweep
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
-__all__ = ["figure15"]
+__all__ = ["figure15", "build_specs"]
 
 _METHODS = ("multiple", "datasieve", "list")
 
 
-def figure15(
-    scale: Scale = SCALED,
-    mode: str = "model",
+def build_specs(
+    scale: Scale,
+    mode: str,
     clients: Optional[Sequence[int]] = None,
     methods: Sequence[str] = _METHODS,
     include_text_accounting: bool = False,
-    obs=None,
     faults=None,
-    jobs: int = 1,
-    cache=None,
-) -> FigureResult:
-    """Regenerate Figure 15.
-
-    ``include_text_accounting=True`` adds a fourth series, ``list-text``:
-    list I/O split on the *file*-region cap only, i.e. the 30
-    requests/processor the paper's text derives — so the discrepancy
-    between the text's arithmetic and the measured figure is visible in
-    one table (see EXPERIMENTS.md).
-    """
+) -> List[PointSpec]:
+    """The sweep specs of Figure 15 — the driver's exact points,
+    importable without running them (service ``figure`` jobs)."""
     clients = tuple(clients or scale.flash_clients)
     specs: List[PointSpec] = []
     for n in clients:
@@ -83,6 +74,37 @@ def figure15(
                     opts=(("split_memory_regions", False),),
                 )
             )
+    return specs
+
+
+def figure15(
+    scale: Scale = SCALED,
+    mode: str = "model",
+    clients: Optional[Sequence[int]] = None,
+    methods: Sequence[str] = _METHODS,
+    include_text_accounting: bool = False,
+    obs=None,
+    faults=None,
+    jobs: int = 1,
+    cache=None,
+) -> FigureResult:
+    """Regenerate Figure 15.
+
+    ``include_text_accounting=True`` adds a fourth series, ``list-text``:
+    list I/O split on the *file*-region cap only, i.e. the 30
+    requests/processor the paper's text derives — so the discrepancy
+    between the text's arithmetic and the measured figure is visible in
+    one table (see EXPERIMENTS.md).
+    """
+    clients = tuple(clients or scale.flash_clients)
+    specs = build_specs(
+        scale,
+        mode,
+        clients=clients,
+        methods=methods,
+        include_text_accounting=include_text_accounting,
+        faults=faults,
+    )
     points, stats = run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label="fig15")
     checks: List[Check] = []
 

@@ -21,25 +21,24 @@ from ..sweep import PointSpec, run_sweep
 from .presets import SCALED, Scale
 from .report import Check, FigureResult
 
-__all__ = ["figure17"]
+__all__ = ["figure17", "build_specs"]
 
 _METHODS = ("multiple", "datasieve", "list")
 
 
-def figure17(
-    scale: Scale = SCALED,
-    mode: str = "des",
+def build_specs(
+    scale: Scale,
+    mode: str,
     methods: Sequence[str] = _METHODS,
-    obs=None,
     faults=None,
-    jobs: int = 1,
-    cache=None,
-) -> FigureResult:
+) -> List[PointSpec]:
+    """The sweep specs of Figure 17 — the driver's exact points,
+    importable without running them (service ``figure`` jobs)."""
     pattern = tiled_visualization(scale.tiled)
     cfg = ClusterConfig.chiba_city(n_clients=pattern.n_ranks)
     if faults is not None and mode == "des":
         cfg = cfg.with_(faults=faults)
-    specs = [
+    return [
         PointSpec(
             figure="fig17",
             pattern="tiled_visualization",
@@ -53,6 +52,19 @@ def figure17(
         )
         for method in methods
     ]
+
+
+def figure17(
+    scale: Scale = SCALED,
+    mode: str = "des",
+    methods: Sequence[str] = _METHODS,
+    obs=None,
+    faults=None,
+    jobs: int = 1,
+    cache=None,
+) -> FigureResult:
+    pattern = tiled_visualization(scale.tiled)
+    specs = build_specs(scale, mode, methods=methods, faults=faults)
     points, stats = run_sweep(specs, jobs=jobs, cache=cache, obs=obs, label="fig17")
     checks: List[Check] = []
     by = {p.series: p for p in points}

@@ -1,0 +1,45 @@
+"""``repro.service`` — the simulation-as-a-service layer.
+
+Turns the one-shot ``pvfs-sim`` CLI into a long-lived HTTP/JSON daemon
+fronting :func:`repro.sweep.run_sweep`, with the content-addressed
+:class:`~repro.sweep.ResultCache` as the dedup layer for repeated
+requests (ROADMAP item 1).  Stdlib only — ``http.server`` on the daemon
+side, ``urllib.request`` on the client side.
+
+* :mod:`repro.service.wire` — canonical JSON codec for sweep specs
+  (exactly the :func:`repro.sweep.spec.canonical` form, decoded back to
+  the frozen dataclasses without any numeric coercion, so a spec that
+  crosses the wire keeps its cache key);
+* :mod:`repro.service.jobs` — the job record, content-addressed job
+  keys, and the thread-safe store;
+* :mod:`repro.service.builders` — job payload -> spec list (shares the
+  figure drivers' ``build_specs`` so a ``figure`` job runs *the same
+  points* the CLI would);
+* :mod:`repro.service.daemon` — ``pvfs-sim serve``: bounded worker
+  pool, job queue, metrics, structured request logging;
+* :mod:`repro.service.client` — the thin blocking client behind
+  ``pvfs-sim submit|status|wait|fetch|jobs``.
+
+Results fetched through the service are bit-identical to the same spec
+run via the direct CLI: the daemon runs the identical engine and
+serializes points with the identical ``result_to_json`` the cache uses.
+"""
+
+from .client import RequestFailed, ServiceClient
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, ServiceDaemon
+from .jobs import Job, JobStore, job_key
+from .wire import SpecPayloadError, decode_spec, encode_spec
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobStore",
+    "RequestFailed",
+    "ServiceClient",
+    "ServiceDaemon",
+    "SpecPayloadError",
+    "decode_spec",
+    "encode_spec",
+    "job_key",
+]

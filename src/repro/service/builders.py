@@ -1,0 +1,160 @@
+"""Job payload -> spec list: the daemon's four job kinds.
+
+Each builder turns one validated JSON payload into the ordered spec
+list the worker pool hands to :func:`repro.sweep.run_sweep`:
+
+* ``sweep`` — raw canonical spec payloads (the fully general form the
+  thin client's ``submit file`` uses);
+* ``figure`` — a paper figure by number; delegates to the figure
+  drivers' own ``build_specs`` so the service runs *exactly* the points
+  ``pvfs-sim --figure N`` would (single source of truth, bit-identical
+  results);
+* ``chaos`` — one fault-injection scenario as a
+  :class:`~repro.sweep.ChaosSpec`;
+* ``bench`` — one named scenario of the regression suite via
+  :func:`repro.bench.suite.build_specs`.
+
+Every validation failure raises
+:class:`~repro.service.wire.SpecPayloadError` (HTTP 400), never a bare
+``KeyError`` — a malformed payload is a client error, not a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..errors import BenchError, ConfigError
+from ..experiments.presets import SCALED, SCALES, Scale
+from ..sweep.spec import ChaosSpec
+from .wire import SpecPayloadError, decode_specs
+
+__all__ = ["JOB_KINDS", "build_job"]
+
+JOB_KINDS = ("sweep", "figure", "chaos", "bench")
+
+_FIGURES = ("9", "10", "11", "12", "15", "17", "18")
+
+
+def _field(payload: Dict[str, Any], name: str, default: Any = None, required: bool = False):
+    value = payload.get(name, default)
+    if required and value is None:
+        raise SpecPayloadError(f"job payload is missing required field {name!r}")
+    return value
+
+
+def _scale(payload: Dict[str, Any], default: str = "scaled") -> Scale:
+    name = _field(payload, "scale", default)
+    try:
+        return SCALES[name]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(SCALES))
+        raise SpecPayloadError(f"unknown scale {name!r} (known: {known})") from None
+
+
+def _build_sweep(payload: Dict[str, Any]) -> Tuple[List[Any], str]:
+    specs = decode_specs(_field(payload, "specs", required=True))
+    return specs, _field(payload, "label", "sweep") or "sweep"
+
+
+def _build_figure(payload: Dict[str, Any]) -> Tuple[List[Any], str]:
+    figure = str(_field(payload, "figure", required=True))
+    if figure not in _FIGURES:
+        raise SpecPayloadError(
+            f"unknown figure {figure!r} (known: {', '.join(_FIGURES)})"
+        )
+    scale = _scale(payload)
+    mode = _field(payload, "mode") or ("model" if not scale.des_friendly else "des")
+    if mode not in ("model", "des"):
+        raise SpecPayloadError(f"mode must be 'model' or 'des', got {mode!r}")
+    if mode == "des" and not scale.des_friendly and figure != "18":
+        raise SpecPayloadError(
+            f"scale {scale.name!r} is too large for the simulator; "
+            "use mode='model' or a des-friendly scale"
+        )
+    try:
+        if figure in ("9", "10", "11", "12"):
+            from ..experiments.artificial import build_specs
+
+            specs: List[Any] = build_specs(figure, scale, mode)
+        elif figure == "15":
+            from ..experiments.flashio import build_specs as flash_specs
+
+            specs = flash_specs(scale, mode)
+        elif figure == "17":
+            from ..experiments.tiledvis import build_specs as tiled_specs
+
+            specs = tiled_specs(scale, mode)
+        else:  # figure 18 — DES-only; same fallback figure18() applies
+            from ..experiments.collective import build_specs as coll_specs
+
+            if not scale.des_friendly:
+                scale = SCALED
+            specs = coll_specs(scale)
+    except ConfigError as exc:
+        raise SpecPayloadError(str(exc)) from None
+    return specs, f"fig{int(figure):02d}"
+
+
+def _build_chaos(payload: Dict[str, Any]) -> Tuple[List[Any], str]:
+    from ..experiments.chaos import BENCHMARKS, SCENARIOS
+
+    scenario = _field(payload, "scenario", required=True)
+    benchmark = _field(payload, "benchmark", "artificial")
+    if scenario not in SCENARIOS:
+        raise SpecPayloadError(
+            f"unknown chaos scenario {scenario!r} (known: {', '.join(SCENARIOS)})"
+        )
+    if benchmark not in BENCHMARKS:
+        raise SpecPayloadError(
+            f"unknown chaos benchmark {benchmark!r} (known: {', '.join(BENCHMARKS)})"
+        )
+    scale = _scale(payload, default="smoke")
+    if not scale.des_friendly:
+        raise SpecPayloadError(
+            f"chaos runs need a des-friendly scale, not {scale.name!r}"
+        )
+    try:
+        spec = ChaosSpec(
+            scenario=scenario,
+            benchmark=benchmark,
+            scale=scale,
+            restart_after=float(_field(payload, "restart_after", 2.0)),
+            replicas=int(_field(payload, "replicas", 1)),
+            ack=_field(payload, "ack", "primary"),
+        )
+    except (ConfigError, TypeError, ValueError) as exc:
+        raise SpecPayloadError(f"invalid chaos payload: {exc}") from None
+    return [spec], f"chaos/{scenario}"
+
+
+def _build_bench(payload: Dict[str, Any]) -> Tuple[List[Any], str]:
+    from ..bench.suite import build_specs as bench_specs
+
+    scenario = _field(payload, "scenario", required=True)
+    scale = _scale(payload, default="smoke")
+    try:
+        specs = bench_specs(scenario, scale)
+    except BenchError as exc:
+        raise SpecPayloadError(str(exc)) from None
+    return specs, f"bench/{scenario}"
+
+
+_BUILDERS = {
+    "sweep": _build_sweep,
+    "figure": _build_figure,
+    "chaos": _build_chaos,
+    "bench": _build_bench,
+}
+
+
+def build_job(payload: Any) -> Tuple[str, List[Any], str]:
+    """Validate one ``POST /v1/jobs`` body -> ``(kind, specs, label)``."""
+    if not isinstance(payload, dict):
+        raise SpecPayloadError("job payload must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in _BUILDERS:
+        raise SpecPayloadError(
+            f"unknown job kind {kind!r} (known: {', '.join(JOB_KINDS)})"
+        )
+    specs, label = _BUILDERS[kind](payload)
+    return kind, specs, label

@@ -1,0 +1,306 @@
+"""CLI surface of the service: ``serve`` plus the thin-client verbs.
+
+::
+
+    pvfs-sim serve --port 8642 --workers 2
+    pvfs-sim submit figure 9 --scale smoke --mode des --wait
+    pvfs-sim submit bench micro_disk_runs --scale smoke
+    pvfs-sim submit chaos --scenario crash --benchmark artificial --scale smoke
+    pvfs-sim submit file specs.json --wait
+    pvfs-sim status job-1
+    pvfs-sim wait job-1 --timeout 600
+    pvfs-sim fetch job-1 --out points.json
+    pvfs-sim jobs
+
+The daemon URL comes from ``--url``, else ``$PVFS_SIM_SERVICE_URL``,
+else ``http://127.0.0.1:8642``.  Exit codes: 0 success, 1 job failed,
+2 usage/connection error — same convention as the figure driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+from .client import ServiceClient
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, ServiceDaemon
+
+__all__ = ["main", "SUBCOMMANDS"]
+
+SUBCOMMANDS = ("serve", "submit", "status", "wait", "fetch", "jobs")
+
+
+def _default_url() -> str:
+    return os.environ.get("PVFS_SIM_SERVICE_URL", f"http://{DEFAULT_HOST}:{DEFAULT_PORT}")
+
+
+def _add_client_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--url",
+        default=_default_url(),
+        help="daemon base URL (default: $PVFS_SIM_SERVICE_URL or "
+        f"http://{DEFAULT_HOST}:{DEFAULT_PORT})",
+    )
+    p.add_argument("--json", action="store_true", help="print raw JSON instead of tables")
+
+
+def _table(rows: List[List[str]], header: List[str]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*row) for row in rows]
+    return "\n".join(lines)
+
+
+def _job_rows(jobs: List[Dict[str, Any]]) -> List[List[str]]:
+    rows = []
+    for j in jobs:
+        wall = ""
+        if j.get("started") and j.get("finished"):
+            wall = f"{j['finished'] - j['started']:.2f}s"
+        rows.append(
+            [
+                j["id"],
+                j["kind"],
+                j.get("label", ""),
+                j["state"],
+                f"{j['completed']}/{j['total']}",
+                wall,
+                j.get("error", "") or "",
+            ]
+        )
+    return rows
+
+
+def _print_job(job: Dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(job, sort_keys=True, indent=2))
+    else:
+        print(_table(_job_rows([job]), ["id", "kind", "label", "state", "points", "wall", "error"]))
+
+
+def _print_points(result: Dict[str, Any], as_json: bool) -> None:
+    points = result.get("points", [])
+    if as_json or not points:
+        print(json.dumps(result, sort_keys=True, indent=2))
+        return
+    if all("series" in p and "elapsed" in p for p in points):
+        rows = [
+            [
+                str(p.get("figure", "")),
+                str(p.get("series", "")),
+                f"{p.get('x', 0):g}",
+                f"{p.get('n_clients', 0)}",
+                f"{p.get('elapsed', 0.0):.6g}",
+                f"{p.get('logical_requests', 0)}",
+            ]
+            for p in points
+        ]
+        print(_table(rows, ["figure", "series", "x", "clients", "elapsed_s", "requests"]))
+    else:  # chaos rows and anything else without the DataPoint shape
+        for p in points:
+            print(json.dumps(p, sort_keys=True))
+
+
+# -- serve ---------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cache = None
+    if not args.no_cache:
+        from ..sweep import ResultCache, default_cache_dir
+
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    daemon = ServiceDaemon(
+        args.host, args.port, workers=args.workers, cache=cache
+    )
+    print(
+        f"pvfs-sim service on http://{args.host}:{args.port} "
+        f"({args.workers} worker(s), cache {'off' if cache is None else 'on'}) "
+        "— Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    daemon.serve_forever()
+    return 0
+
+
+# -- submit ---------------------------------------------------------------
+def _payload_of(args: argparse.Namespace) -> Dict[str, Any]:
+    if args.target == "figure":
+        payload: Dict[str, Any] = {"kind": "figure", "figure": args.figure, "scale": args.scale}
+        if args.mode:
+            payload["mode"] = args.mode
+        return payload
+    if args.target == "chaos":
+        return {
+            "kind": "chaos",
+            "scenario": args.scenario,
+            "benchmark": args.benchmark,
+            "scale": args.scale,
+            "restart_after": args.restart_after,
+            "replicas": args.replicas,
+            "ack": args.ack,
+        }
+    if args.target == "bench":
+        return {"kind": "bench", "scenario": args.scenario, "scale": args.scale}
+    # file: raw canonical specs, either a bare list or {"specs": [...]}
+    with open(args.path) as fh:
+        body = json.load(fh)
+    specs = body["specs"] if isinstance(body, dict) else body
+    payload = {"kind": "sweep", "specs": specs}
+    if isinstance(body, dict) and body.get("label"):
+        payload["label"] = body["label"]
+    return payload
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    reply = client.submit(_payload_of(args))
+    job = reply["job"]
+    dedup = " (deduped: served from an earlier submission)" if reply["deduped"] else ""
+    print(f"submitted {job['id']}: {job['kind']} {job.get('label', '')} "
+          f"[{job['state']}]{dedup}")
+    if not args.wait:
+        return 0
+    final = client.wait(job["id"], timeout=args.timeout)
+    if final["state"] == "failed":
+        print(f"job {job['id']} failed: {final.get('error')}", file=sys.stderr)
+        return 1
+    _print_points(client.result(job["id"]), args.json)
+    return 0
+
+
+# -- status / wait / fetch / jobs ----------------------------------------
+def _cmd_status(args: argparse.Namespace) -> int:
+    _print_job(ServiceClient(args.url).job(args.job_id), args.json)
+    return 0
+
+
+def _cmd_wait(args: argparse.Namespace) -> int:
+    job = ServiceClient(args.url).wait(args.job_id, timeout=args.timeout)
+    _print_job(job, args.json)
+    return 1 if job["state"] == "failed" else 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    result = ServiceClient(args.url).result(args.job_id)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, sort_keys=True)
+        print(f"wrote {len(result.get('points', []))} points to {args.out}")
+    else:
+        _print_points(result, args.json)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    jobs = ServiceClient(args.url).jobs()
+    if args.json:
+        print(json.dumps(jobs, sort_keys=True, indent=2))
+    elif jobs:
+        print(_table(_job_rows(jobs), ["id", "kind", "label", "state", "points", "wall", "error"]))
+    else:
+        print("no jobs")
+    return 0
+
+
+# -- parser ---------------------------------------------------------------
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="pvfs-sim",
+        description="pvfs-sim simulation service (daemon + thin client)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the simulation daemon")
+    serve.add_argument("--host", default=DEFAULT_HOST)
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default: 2)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache directory (default: $PVFS_SIM_CACHE or ~/.cache/pvfs-sim)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="run without the result cache"
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a job to the daemon")
+    tsub = submit.add_subparsers(dest="target", required=True)
+
+    fig = tsub.add_parser("figure", help="a paper figure by number")
+    fig.add_argument("figure", choices=("9", "10", "11", "12", "15", "17", "18"))
+    fig.add_argument("--scale", default="scaled", help="parameter scale (default: scaled)")
+    fig.add_argument("--mode", choices=("model", "des"), default=None)
+
+    chaos = tsub.add_parser("chaos", help="a fault-injection scenario")
+    chaos.add_argument("--scenario", required=True)
+    chaos.add_argument("--benchmark", default="artificial")
+    chaos.add_argument("--scale", default="smoke")
+    chaos.add_argument("--restart-after", type=float, default=2.0)
+    chaos.add_argument("--replicas", type=int, default=1)
+    chaos.add_argument("--ack", choices=("primary", "quorum"), default="primary")
+
+    bench = tsub.add_parser("bench", help="a benchmark-suite scenario")
+    bench.add_argument("scenario")
+    bench.add_argument("--scale", default="smoke")
+
+    file_ = tsub.add_parser("file", help="raw canonical specs from a JSON file")
+    file_.add_argument("path")
+
+    for sp in (fig, chaos, bench, file_):
+        _add_client_args(sp)
+        sp.add_argument(
+            "--wait", action="store_true", help="block until done, then print the result"
+        )
+        sp.add_argument("--timeout", type=float, default=None, help="wait timeout (s)")
+        sp.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser("status", help="one job's state and progress")
+    status.add_argument("job_id")
+    _add_client_args(status)
+    status.set_defaults(fn=_cmd_status)
+
+    wait = sub.add_parser("wait", help="block until a job finishes")
+    wait.add_argument("job_id")
+    wait.add_argument("--timeout", type=float, default=None)
+    _add_client_args(wait)
+    wait.set_defaults(fn=_cmd_wait)
+
+    fetch = sub.add_parser("fetch", help="download a finished job's points")
+    fetch.add_argument("job_id")
+    fetch.add_argument("--out", metavar="FILE.json", help="write the result body to a file")
+    _add_client_args(fetch)
+    fetch.set_defaults(fn=_cmd_fetch)
+
+    jobs = sub.add_parser("jobs", help="list jobs on the daemon")
+    _add_client_args(jobs)
+    jobs.set_defaults(fn=_cmd_jobs)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

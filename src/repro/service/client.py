@@ -1,0 +1,140 @@
+"""The thin blocking client behind ``pvfs-sim submit|status|wait|fetch|jobs``.
+
+Stdlib :mod:`urllib.request` only.  Every HTTP failure surfaces as a
+:class:`RequestFailed` carrying the status code and the daemon's typed
+error object (``{"type": ..., "message": ...}``), so callers can tell a
+malformed spec (400 ``SpecPayloadError``) from an unknown job (404)
+from a dead daemon (no status at all).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+
+__all__ = ["ServiceClient", "RequestFailed", "DEFAULT_TIMEOUT"]
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class RequestFailed(ServiceError):
+    """An HTTP exchange with the daemon failed.
+
+    ``status`` is the HTTP status (``None`` if the daemon was
+    unreachable), ``error_type`` the daemon's typed error name
+    (``"SpecPayloadError"``, ``"UnknownJob"``, ...) when one was sent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        error_type: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+class ServiceClient:
+    """Blocking JSON client for one ``pvfs-sim serve`` daemon."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw exchange ----------------------------------------------------
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                err = json.loads(exc.read()).get("error", {})
+            except (ValueError, OSError):
+                err = {}
+            raise RequestFailed(
+                err.get("message", f"{method} {path} -> HTTP {exc.code}"),
+                status=exc.code,
+                error_type=err.get("type"),
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise RequestFailed(
+                f"cannot reach {self.url}: {getattr(exc, 'reason', exc)}"
+            ) from None
+        except ValueError as exc:
+            raise RequestFailed(f"{method} {path}: daemon sent invalid JSON: {exc}") from None
+
+    # -- endpoints -------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job payload; returns ``{"job": ..., "deduped": ...}``."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Points + job summary of a ``done`` job (409 via RequestFailed
+        while it is still queued/running)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/shutdown", {})
+
+    # -- waiters ---------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Block until the job leaves the queue (``done`` or ``failed``).
+
+        Returns the final job summary; raises :class:`RequestFailed`
+        with ``error_type="WaitTimeout"`` if ``timeout`` seconds pass
+        first.  Never raises on a *failed* job — inspect ``state``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise RequestFailed(
+                    f"job {job_id} still {job['state']} after {timeout}s",
+                    error_type="WaitTimeout",
+                )
+            time.sleep(poll)
+
+    def run(self, payload: Dict[str, Any], timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Submit, wait, fetch — the one-call convenience path."""
+        job = self.submit(payload)["job"]
+        final = self.wait(job["id"], timeout=timeout)
+        if final["state"] == "failed":
+            raise RequestFailed(
+                f"job {job['id']} failed: {final.get('error', 'unknown error')}",
+                error_type="JobFailed",
+            )
+        return self.result(job["id"])

@@ -1,0 +1,143 @@
+"""Job records, content-addressed job keys, and the thread-safe store.
+
+A *job* is an ordered list of sweep specs plus its lifecycle state::
+
+    queued -> running -> done | failed
+
+The job key is a SHA-256 over the job kind, the installed code
+fingerprint, and every spec's ``cache_token()`` — the same ingredients
+:class:`~repro.sweep.ResultCache` hashes per point — so two submissions
+describing the same work collide on the key and the second one is
+answered by the first's record (``deduped``) without touching the
+worker pool.  Failed jobs never dedup: resubmitting retries the work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sweep.fingerprint import code_fingerprint
+
+__all__ = ["Job", "JobStore", "job_key", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def job_key(kind: str, specs: List[Any], fingerprint: Optional[str] = None) -> str:
+    """Content address of one job (kind + code fingerprint + spec tokens)."""
+    payload = {
+        "kind": kind,
+        "code": fingerprint or code_fingerprint(),
+        "specs": [spec.cache_token() for spec in specs],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and everything known about it."""
+
+    id: str
+    kind: str
+    key: str
+    label: str
+    specs: List[Any]
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: Points completed so far (cache hits included) — the progress signal.
+    completed: int = 0
+    error: Optional[str] = None
+    #: In spec order once ``state == "done"``.
+    results: Optional[List[Any]] = None
+    #: The engine's :class:`~repro.sweep.SweepStats` once finished.
+    stats: Any = None
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    def summary(self) -> Dict[str, Any]:
+        """The wire view of the job (no results — fetch those separately)."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "label": self.label,
+            "state": self.state,
+            "total": self.total,
+            "completed": self.completed,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.stats is not None:
+            out["stats"] = {
+                "cache_hits": self.stats.cache_hits,
+                "executed": self.stats.executed,
+                "wall_s": self.stats.wall_s,
+            }
+        return out
+
+
+class JobStore:
+    """Thread-safe job registry with key-based dedup.
+
+    ``submit`` is the only mutating entry point the HTTP layer uses; the
+    worker pool mutates job fields directly but always under
+    :attr:`lock` (the store hands it out so daemon and store share one).
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+
+    def submit(self, kind: str, specs: List[Any], label: str, key: str) -> Tuple[Job, bool]:
+        """Register a job, or return the existing one for ``key``.
+
+        Returns ``(job, deduped)``.  A previous *failed* job with the
+        same key is evicted from the dedup index so the new submission
+        actually runs.
+        """
+        with self.lock:
+            existing_id = self._by_key.get(key)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.state != "failed":
+                    return existing, True
+                del self._by_key[key]
+            job = Job(
+                id=f"job-{next(self._ids)}",
+                kind=kind,
+                key=key,
+                label=label,
+                specs=specs,
+            )
+            self._jobs[job.id] = job
+            self._by_key[key] = job.id
+            return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self.lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        """Jobs in submission order (ids are monotonic)."""
+        with self.lock:
+            return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        with self.lock:
+            return sum(1 for j in self._jobs.values() if j.state == "queued")

@@ -1,0 +1,187 @@
+"""Wire codec: canonical spec JSON <-> frozen spec dataclasses.
+
+The encode side is exactly :func:`repro.sweep.spec.canonical` — nested
+dataclasses become ``{"__type__": ClassName, field: ...}`` dicts and
+tuples become lists, which is the same deterministic structure the
+:class:`~repro.sweep.ResultCache` hashes.  The decode side inverts it
+against a closed registry of the frozen dataclasses a spec may contain,
+re-tuplifying sequences and performing **no numeric coercion**, so for
+every decodable spec::
+
+    canonical(decode_spec(canonical(spec))) == canonical(spec)
+
+— which is what makes a spec submitted over the wire hit the same cache
+entry as the identical spec built in-process (the service's whole dedup
+story rests on this invariant; ``tests/test_service_wire.py`` pins it).
+
+Anything malformed — unknown ``__type__``, unknown field, a value the
+dataclass validator rejects — raises :class:`SpecPayloadError`, which
+the daemon maps to a typed HTTP 400.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple, Type
+
+from ..bench.micro import DiskRunsSpec, KernelChurnSpec, NetStreamSpec
+from ..config import (
+    CacheConfig,
+    ClusterConfig,
+    CostModel,
+    DiskConfig,
+    NetworkConfig,
+    StripeParams,
+)
+from ..errors import ConfigError, ServiceError
+from ..experiments.presets import Scale
+from ..faults.plan import (
+    DiskStall,
+    FaultConfig,
+    FaultPlan,
+    IodCrash,
+    LinkDown,
+    PacketLoss,
+    RetryPolicy,
+    Straggler,
+)
+from ..patterns import FlashConfig, TiledConfig
+from ..sweep.spec import ChaosSpec, MpiioSpec, PointSpec, canonical
+
+__all__ = [
+    "SpecPayloadError",
+    "SPEC_TYPES",
+    "JOB_SPEC_TYPES",
+    "encode_spec",
+    "decode_spec",
+]
+
+
+class SpecPayloadError(ServiceError):
+    """A job payload could not be decoded into valid sweep specs.
+
+    The daemon maps this to HTTP 400 with ``{"error": {"type":
+    "SpecPayloadError", "message": ...}}`` so clients can tell a bad
+    request from a server failure.
+    """
+
+
+#: Every frozen dataclass a canonical spec payload may contain, keyed by
+#: the ``__type__`` tag :func:`~repro.sweep.spec.canonical` emits.  A
+#: closed registry: payloads cannot instantiate arbitrary classes.
+SPEC_TYPES: Dict[str, Type] = {
+    cls.__name__: cls
+    for cls in (
+        # Spec roots
+        PointSpec,
+        MpiioSpec,
+        ChaosSpec,
+        KernelChurnSpec,
+        NetStreamSpec,
+        DiskRunsSpec,
+        # Cluster configuration
+        ClusterConfig,
+        NetworkConfig,
+        DiskConfig,
+        CacheConfig,
+        CostModel,
+        StripeParams,
+        # Fault schedules + retry policy
+        FaultConfig,
+        FaultPlan,
+        RetryPolicy,
+        IodCrash,
+        DiskStall,
+        LinkDown,
+        PacketLoss,
+        Straggler,
+        # Experiment presets and pattern geometries
+        Scale,
+        FlashConfig,
+        TiledConfig,
+    )
+}
+
+#: The subset allowed as a *top-level* job spec (things with the sweep
+#: protocol: ``run`` / ``cache_token`` / ``result_to_json``).
+JOB_SPEC_TYPES: Tuple[Type, ...] = (
+    PointSpec,
+    MpiioSpec,
+    ChaosSpec,
+    KernelChurnSpec,
+    NetStreamSpec,
+    DiskRunsSpec,
+)
+
+
+def encode_spec(spec: Any) -> Any:
+    """Canonical JSON-able form of ``spec`` (the cache-key structure)."""
+    try:
+        return canonical(spec)
+    except ConfigError as exc:
+        raise SpecPayloadError(str(exc)) from None
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if "__type__" in obj:
+            return _decode_dataclass(obj)
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        # Every sequence field in the spec/config dataclasses is a tuple
+        # (frozen dataclasses need hashable fields); canonical() turned
+        # them into lists for JSON, so decoding re-tuplifies.
+        return tuple(_decode(v) for v in obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise SpecPayloadError(f"cannot decode value of type {type(obj).__name__!r}")
+
+
+def _decode_dataclass(obj: Dict[str, Any]) -> Any:
+    tag = obj["__type__"]
+    try:
+        cls = SPEC_TYPES[tag]
+    except KeyError:
+        known = ", ".join(sorted(SPEC_TYPES))
+        raise SpecPayloadError(
+            f"unknown spec type {tag!r} (known: {known})"
+        ) from None
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    kwargs: Dict[str, Any] = {}
+    for key, value in obj.items():
+        if key == "__type__":
+            continue
+        if key not in field_names:
+            raise SpecPayloadError(f"{tag} has no field {key!r}")
+        kwargs[key] = _decode(value)
+    try:
+        return cls(**kwargs)
+    except (ConfigError, TypeError, ValueError) as exc:
+        raise SpecPayloadError(f"invalid {tag}: {exc}") from None
+
+
+def decode_spec(payload: Any) -> Any:
+    """Rebuild one top-level sweep spec from its canonical JSON form.
+
+    Raises :class:`SpecPayloadError` unless the result is one of the
+    allowed job spec types (:data:`JOB_SPEC_TYPES`).
+    """
+    if not isinstance(payload, dict) or "__type__" not in payload:
+        raise SpecPayloadError(
+            "spec payload must be an object with a '__type__' tag "
+            "(the canonical form of PointSpec/MpiioSpec/ChaosSpec/...)"
+        )
+    spec = _decode(payload)
+    if not isinstance(spec, JOB_SPEC_TYPES):
+        allowed = ", ".join(sorted(c.__name__ for c in JOB_SPEC_TYPES))
+        raise SpecPayloadError(
+            f"{type(spec).__name__} is not a runnable job spec (allowed: {allowed})"
+        )
+    return spec
+
+
+def decode_specs(payload: Any) -> List[Any]:
+    """Decode a list of canonical spec payloads (a ``sweep`` job body)."""
+    if not isinstance(payload, (list, tuple)) or not payload:
+        raise SpecPayloadError("'specs' must be a non-empty list of spec objects")
+    return [decode_spec(p) for p in payload]

@@ -1,0 +1,211 @@
+"""Client/daemon round-trip contract (docs/service.md).
+
+The acceptance criteria of the service layer, asserted end-to-end
+against a real in-process daemon on an ephemeral port:
+
+* submit -> wait -> fetch equals a direct ``run_sweep`` of the same
+  specs **byte-for-byte** (the serialized points compare as strings);
+* a duplicate submission is answered from the first job's record —
+  dedup counter > 0, no second execution, same job id;
+* a malformed spec gets a typed HTTP 400, unknown jobs a 404, and a
+  result fetched before completion a 409.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import RequestFailed, ServiceClient, ServiceDaemon
+from repro.service.wire import encode_spec
+from repro.sweep import ResultCache, run_sweep
+from repro.sweep.engine import SweepStats  # noqa: F401 - re-exported shape under test
+
+BENCH_PAYLOAD = {"kind": "bench", "scenario": "micro_disk_runs", "scale": "smoke"}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    log = io.StringIO()
+    d = ServiceDaemon(
+        "127.0.0.1",
+        0,  # ephemeral port
+        workers=2,
+        cache=ResultCache(str(tmp_path / "cache")),
+        log_stream=log,
+    )
+    d.start()
+    d.log = log
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServiceClient(daemon.url, timeout=30.0)
+
+
+def _direct_points_json(payload):
+    """What the direct CLI path would produce for the same job."""
+    from repro.service.builders import build_job
+
+    _kind, specs, label = build_job(payload)
+    results, _stats = run_sweep(specs, jobs=1, label=label)
+    return [spec.result_to_json(r) for spec, r in zip(specs, results)]
+
+
+class TestRoundTrip:
+    def test_submit_wait_fetch_bit_identical_to_direct_run(self, client):
+        reply = client.submit(BENCH_PAYLOAD)
+        assert reply["deduped"] is False
+        job = client.wait(reply["job"]["id"], timeout=120)
+        assert job["state"] == "done"
+        assert job["completed"] == job["total"] == 1
+        fetched = client.result(job["id"])["points"]
+        direct = _direct_points_json(BENCH_PAYLOAD)
+        assert json.dumps(fetched, sort_keys=True) == json.dumps(direct, sort_keys=True)
+
+    def test_sweep_job_from_raw_specs(self, client):
+        from repro.bench.micro import KernelChurnSpec
+
+        spec = KernelChurnSpec(n_procs=4, events_per_proc=8)
+        payload = {"kind": "sweep", "specs": [encode_spec(spec)], "label": "t"}
+        result = client.run(payload, timeout=120)
+        direct = spec.run()
+        assert result["points"] == [spec.result_to_json(direct)]
+
+    def test_health_reports_fingerprint(self, client, daemon):
+        health = client.health()
+        assert health["ok"] is True
+        assert health["fingerprint"] == daemon.fingerprint
+        assert health["cache"] is True
+
+
+class TestDedup:
+    def test_duplicate_submit_served_without_reexecution(self, client, daemon):
+        first = client.submit(BENCH_PAYLOAD)
+        client.wait(first["job"]["id"], timeout=120)
+        executed_before = daemon.metrics.counter("service.points.executed").value
+
+        second = client.submit(BENCH_PAYLOAD)
+        assert second["deduped"] is True
+        assert second["job"]["id"] == first["job"]["id"]
+
+        metrics = client.metrics()
+        assert metrics["counters"]["service.jobs.deduped"] > 0
+        # No worker execution for the duplicate: the executed-points
+        # counter is untouched and the job list holds a single job.
+        assert daemon.metrics.counter("service.points.executed").value == executed_before
+        assert len(client.jobs()) == 1
+
+    def test_different_payloads_do_not_dedup(self, client):
+        a = client.submit(BENCH_PAYLOAD)
+        b = client.submit({"kind": "bench", "scenario": "micro_kernel_churn", "scale": "smoke"})
+        assert b["deduped"] is False
+        assert b["job"]["id"] != a["job"]["id"]
+
+    def test_dedup_counter_zero_before_any_duplicate(self, client):
+        metrics = client.metrics()
+        assert metrics["counters"].get("service.jobs.deduped", 0) == 0
+
+
+class TestErrors:
+    def test_malformed_spec_is_typed_400(self, client):
+        with pytest.raises(RequestFailed) as err:
+            client.submit({"kind": "sweep", "specs": [{"__type__": "EvilSpec"}]})
+        assert err.value.status == 400
+        assert err.value.error_type == "SpecPayloadError"
+        assert isinstance(err.value, ServiceError)
+
+    def test_unknown_kind_is_400(self, client):
+        with pytest.raises(RequestFailed) as err:
+            client.submit({"kind": "nope"})
+        assert err.value.status == 400
+        assert err.value.error_type == "SpecPayloadError"
+
+    def test_invalid_field_value_is_400(self, client):
+        spec = {"kind": "figure", "figure": "99", "scale": "smoke"}
+        with pytest.raises(RequestFailed) as err:
+            client.submit(spec)
+        assert err.value.status == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(RequestFailed) as err:
+            client.job("job-999")
+        assert err.value.status == 404
+        assert err.value.error_type == "UnknownJob"
+        with pytest.raises(RequestFailed) as err:
+            client.result("job-999")
+        assert err.value.status == 404
+
+    def test_result_before_done_is_409(self, client, daemon):
+        # A job that cannot have finished yet: stall the queue by
+        # submitting against a stopped worker pool is racy, so instead
+        # fabricate the state directly through the store.
+        job, _ = daemon.store.submit("bench", [], "t", "k-stall")
+        with pytest.raises(RequestFailed) as err:
+            client.result(job.id)
+        assert err.value.status == 409
+        assert err.value.error_type == "JobNotDone"
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(RequestFailed) as err:
+            client._request("GET", "/v2/everything")
+        assert err.value.status == 404
+        assert err.value.error_type == "UnknownRoute"
+
+    def test_unreachable_daemon_raises_without_status(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(RequestFailed) as err:
+            client.health()
+        assert err.value.status is None
+
+
+class TestObservability:
+    def test_request_log_is_structured_jsonl(self, client, daemon):
+        client.health()
+        lines = [json.loads(L) for L in daemon.log.getvalue().splitlines() if L]
+        events = {rec["event"] for rec in lines}
+        assert "start" in events
+        request = next(rec for rec in lines if rec["event"] == "request")
+        assert request["method"] == "GET"
+        assert request["path"] == "/v1/health"
+        assert request["status"] == 200
+        assert request["dur_ms"] >= 0
+
+    def test_metrics_counters_and_gauge(self, client):
+        client.run(BENCH_PAYLOAD, timeout=120)
+        client.submit(BENCH_PAYLOAD)  # the duplicate
+        metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["service.jobs.accepted"] == 1
+        assert counters["service.jobs.deduped"] == 1
+        assert counters["service.jobs.completed"] == 1
+        assert counters.get("service.jobs.failed", 0) == 0
+        assert counters["service.http.requests"] >= 4
+        assert "service.queue.depth" in metrics["gauges"]
+        # run_sweep's registry was merged in: the sweep fold is present.
+        assert any(name.startswith("sweep.") for name in counters)
+
+    def test_failed_job_reports_error_and_counter(self, client, daemon):
+        # A chaos spec that validates but whose scenario dies at run
+        # time is hard to fabricate; instead push a job whose spec
+        # raises, through the store + queue directly.
+        class Boom:
+            def cache_token(self):
+                return {"kind": "boom"}
+
+            def run(self, obs=None):
+                raise RuntimeError("exploded")
+
+        job, _ = daemon.store.submit("sweep", [Boom()], "boom", "k-boom")
+        daemon._queue.put(job.id)
+        final = client.wait(job.id, timeout=30)
+        assert final["state"] == "failed"
+        assert "exploded" in final["error"]
+        assert client.metrics()["counters"]["service.jobs.failed"] == 1
+        # A failed job never dedups: the same key submits fresh.
+        job2, deduped = daemon.store.submit("sweep", [Boom()], "boom", "k-boom")
+        assert deduped is False
+        assert job2.id != job.id

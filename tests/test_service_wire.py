@@ -1,0 +1,182 @@
+"""Wire codec contract: canonical round-trip, cache-key stability,
+typed decode errors.
+
+The invariant the whole service rests on (docs/service.md): for every
+spec the drivers can build, ``decode_spec(canonical(spec))`` equals the
+original — same dataclass, same canonical form, same ResultCache key —
+so a spec that crosses the wire dedups against the identical spec built
+in-process.
+"""
+
+import pytest
+
+from repro.bench.micro import DiskRunsSpec, KernelChurnSpec, NetStreamSpec
+from repro.config import ClusterConfig
+from repro.errors import ReproError, ServiceError
+from repro.experiments.presets import SMOKE
+from repro.faults import FaultConfig, FaultPlan, IodCrash, RetryPolicy, Straggler
+from repro.service.wire import SpecPayloadError, decode_spec, decode_specs, encode_spec
+from repro.sweep import ChaosSpec, MpiioSpec, PointSpec, ResultCache, canonical
+from repro.units import MiB
+
+
+def _point_spec(**kw):
+    cfg = ClusterConfig.chiba_city(n_clients=2)
+    defaults = dict(
+        figure="figT",
+        pattern="one_dim_cyclic",
+        pattern_args=(1 * MiB, 2, 8),
+        method="list",
+        kind="read",
+        mode="des",
+        cfg=cfg,
+        x=8.0,
+    )
+    defaults.update(kw)
+    return PointSpec(**defaults)
+
+
+def _driver_specs():
+    """Every flavour of spec the figure drivers and bench suite build."""
+    from repro.experiments.artificial import build_specs as artificial
+    from repro.experiments.collective import build_specs as collective
+    from repro.experiments.flashio import build_specs as flashio
+    from repro.experiments.tiledvis import build_specs as tiledvis
+
+    specs = []
+    specs += artificial("9", SMOKE, "des")
+    specs += flashio(SMOKE, "des", include_text_accounting=True)
+    specs += tiledvis(SMOKE, "des")
+    specs += collective(SMOKE)
+    specs.append(ChaosSpec(scenario="crash", benchmark="artificial", scale=SMOKE))
+    specs.append(
+        ChaosSpec(
+            scenario="failover-read",
+            benchmark="artificial",
+            scale=SMOKE,
+            replicas=2,
+            ack="quorum",
+        )
+    )
+    specs.append(KernelChurnSpec(n_procs=4, events_per_proc=8))
+    specs.append(NetStreamSpec(n_senders=2, messages=4))
+    specs.append(DiskRunsSpec(n_runs=8))
+    return specs
+
+
+class TestRoundTrip:
+    def test_every_driver_spec_round_trips_exactly(self):
+        for spec in _driver_specs():
+            decoded = decode_spec(encode_spec(spec))
+            assert decoded == spec
+            assert canonical(decoded) == canonical(spec)
+
+    def test_round_trip_preserves_cache_key(self):
+        cache = ResultCache("/tmp/unused", fingerprint="fp")
+        for spec in _driver_specs():
+            decoded = decode_spec(encode_spec(spec))
+            assert cache.key(decoded) == cache.key(spec)
+
+    def test_round_trip_survives_json(self):
+        # The actual wire: canonical -> json -> parse -> decode.
+        import json
+
+        for spec in _driver_specs():
+            wire = json.loads(json.dumps(encode_spec(spec)))
+            assert decode_spec(wire) == spec
+
+    def test_faulted_config_round_trips(self):
+        faults = FaultConfig(
+            plan=FaultPlan((IodCrash(iod=0, at=1.0, restart_after=2.0), Straggler(0, 4.0))),
+            retry=RetryPolicy(request_timeout=0.5, max_retries=3, jitter=0.1),
+        )
+        cfg = ClusterConfig.chiba_city(n_clients=2).with_(faults=faults)
+        spec = _point_spec(cfg=cfg)
+        decoded = decode_spec(encode_spec(spec))
+        assert decoded == spec
+        assert decoded.cfg.faults.plan.faults[0].restart_after == 2.0
+
+    def test_tuples_come_back_as_tuples(self):
+        spec = _point_spec(opts=(("split_memory_regions", False),))
+        decoded = decode_spec(encode_spec(spec))
+        assert isinstance(decoded.pattern_args, tuple)
+        assert isinstance(decoded.opts, tuple)
+        assert dict(decoded.opts) == {"split_memory_regions": False}
+
+    def test_no_numeric_coercion(self):
+        # int stays int, float stays float — cache keys depend on it.
+        spec = _point_spec(x=8.0)
+        wire = encode_spec(spec)
+        assert isinstance(wire["x"], float)
+        assert isinstance(wire["pattern_args"][1], int)
+        decoded = decode_spec(wire)
+        assert isinstance(decoded.x, float)
+        assert isinstance(decoded.pattern_args[1], int)
+
+
+class TestDecodeErrors:
+    def test_unknown_type_tag(self):
+        with pytest.raises(SpecPayloadError, match="unknown spec type"):
+            decode_spec({"__type__": "EvilSpec"})
+
+    def test_unknown_field(self):
+        wire = encode_spec(_point_spec())
+        wire["bogus"] = 1
+        with pytest.raises(SpecPayloadError, match="no field 'bogus'"):
+            decode_spec(wire)
+
+    def test_invalid_field_value_hits_dataclass_validation(self):
+        wire = encode_spec(_point_spec())
+        wire["cfg"]["n_clients"] = -1
+        with pytest.raises(SpecPayloadError, match="invalid ClusterConfig"):
+            decode_spec(wire)
+
+    def test_non_spec_top_level_rejected(self):
+        wire = encode_spec(ClusterConfig.chiba_city())
+        with pytest.raises(SpecPayloadError, match="not a runnable job spec"):
+            decode_spec(wire)
+
+    def test_untagged_payload_rejected(self):
+        with pytest.raises(SpecPayloadError, match="__type__"):
+            decode_spec({"figure": "9"})
+        with pytest.raises(SpecPayloadError):
+            decode_spec("not an object")
+
+    def test_empty_spec_list_rejected(self):
+        with pytest.raises(SpecPayloadError, match="non-empty list"):
+            decode_specs([])
+
+    def test_error_is_typed(self):
+        # The daemon maps SpecPayloadError to HTTP 400; it must stay a
+        # ServiceError subclass so clients can catch the family.
+        assert issubclass(SpecPayloadError, ServiceError)
+        assert issubclass(SpecPayloadError, ReproError)
+
+
+class TestJobKey:
+    def test_same_specs_same_key(self):
+        from repro.service import job_key
+
+        a = [_point_spec(), _point_spec(method="multiple")]
+        b = [_point_spec(), _point_spec(method="multiple")]
+        assert job_key("sweep", a, "fp") == job_key("sweep", b, "fp")
+
+    def test_key_covers_kind_specs_and_code(self):
+        from repro.service import job_key
+
+        specs = [_point_spec()]
+        base = job_key("sweep", specs, "fp")
+        assert job_key("figure", specs, "fp") != base
+        assert job_key("sweep", specs, "fp2") != base
+        assert job_key("sweep", [_point_spec(method="multiple")], "fp") != base
+
+    def test_decoded_spec_hits_same_job_key(self):
+        from repro.service import job_key
+
+        spec = _point_spec()
+        decoded = decode_spec(encode_spec(spec))
+        assert job_key("sweep", [decoded], "fp") == job_key("sweep", [spec], "fp")
+
+    def test_mpiio_spec_round_trip(self):
+        spec = MpiioSpec(scale=SMOKE, n_ranks=2, collective=True)
+        assert decode_spec(encode_spec(spec)) == spec

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Fail on dead relative links in the repo's markdown documentation.
 
-Scans ``README.md`` and every ``.md`` file under ``docs/`` for inline
+Scans every ``.md`` file at the repository root (``README.md``,
+``DESIGN.md``, ``EXPERIMENTS.md``, ...) and under ``docs/`` for inline
 markdown links/images (``[text](target)``) and reference definitions
 (``[label]: target``), resolves each *relative* target against the file
 that contains it, and exits non-zero listing every target that does not
@@ -73,7 +74,7 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     root = args.root.resolve()
 
-    files = sorted((root / "docs").glob("**/*.md")) + [root / "README.md"]
+    files = sorted((root / "docs").glob("**/*.md")) + sorted(root.glob("*.md"))
     files = [f for f in files if f.exists()]
 
     dead: List[Tuple[str, str]] = []
