@@ -124,6 +124,42 @@ def _collective_specs(scale: Scale) -> List:
     ]
 
 
+def _twophase_specs(
+    figure: str, pattern: str, kind: str, cb_buffer: Optional[int] = None
+) -> Callable[[Scale], List]:
+    """List I/O vs the first-class two-phase method on one artificial
+    pattern (the crossover the analytic model predicts)."""
+
+    def build(scale: Scale) -> List:
+        if pattern == "one_dim_cyclic":
+            clients = min(scale.cyclic_clients)
+        else:
+            clients = min(scale.blockblock_clients)
+        accesses = min(scale.accesses_sweep)
+        cfg = ClusterConfig.chiba_city(n_clients=clients)
+        specs: List = []
+        for method in ("list", "twophase"):
+            opts: Tuple = ()
+            if method == "twophase" and cb_buffer is not None:
+                opts = (("cb_buffer", cb_buffer),)
+            specs.append(
+                PointSpec(
+                    figure=figure,
+                    pattern=pattern,
+                    pattern_args=(scale.artificial_total, clients, accesses),
+                    method=method,
+                    kind=kind,
+                    mode="des",
+                    cfg=cfg,
+                    x=accesses,
+                    opts=opts,
+                )
+            )
+        return specs
+
+    return build
+
+
 SUITE: Tuple[Scenario, ...] = (
     Scenario(
         "fig09_cyclic_read",
@@ -166,6 +202,20 @@ SUITE: Tuple[Scenario, ...] = (
         "collective",
         "MPI-IO FLASH writes: independent vs two-phase collective",
         _collective_specs,
+    ),
+    Scenario(
+        "twophase_cyclic_write",
+        "collective",
+        "1-D cyclic writes: list I/O vs first-class two-phase collective "
+        "(single exchange round)",
+        _twophase_specs("figTP", "one_dim_cyclic", "write"),
+    ),
+    Scenario(
+        "twophase_blockblock_read",
+        "collective",
+        "block-block reads: list I/O vs two-phase with a 64 KiB collective "
+        "buffer (multi-round exchange)",
+        _twophase_specs("figTP", "block_block", "read", cb_buffer=64 * 1024),
     ),
     Scenario(
         "chaos_failover_read",

@@ -6,6 +6,8 @@
   (Section 3.3, the contribution).
 * :class:`HybridIO` — list I/O over gap-clustered extents (Section 5).
 * :class:`VectorIO` — datatype-described single-request access (Section 5).
+* :class:`TwoPhaseIO` — ROMIO-style two-phase collective I/O (the
+  Thakur/Gropp/Lusk algorithm the paper benchmarks against).
 """
 
 from .api import pvfs_read_list, pvfs_write_list
@@ -15,6 +17,7 @@ from .datatype import VectorIO, as_vector
 from .hybrid import HybridIO, cluster_extents
 from .listio import ListIO
 from .multiple import MultipleIO
+from .twophase import TwoPhaseIO
 
 #: Registry used by the experiment harness and CLI.
 METHODS = {
@@ -23,6 +26,7 @@ METHODS = {
     "list": ListIO,
     "hybrid": HybridIO,
     "vector": VectorIO,
+    "twophase": TwoPhaseIO,
 }
 
 __all__ = [
@@ -32,6 +36,7 @@ __all__ = [
     "ListIO",
     "HybridIO",
     "VectorIO",
+    "TwoPhaseIO",
     "METHODS",
     "pvfs_read_list",
     "pvfs_write_list",

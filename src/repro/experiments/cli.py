@@ -158,6 +158,14 @@ def _parser() -> argparse.ArgumentParser:
         "(repeatable; DES mode only; e.g. --straggler 0:8)",
     )
     p.add_argument(
+        "--cb-buffer",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="collective buffer size for two-phase I/O, in bytes "
+        "(figure 18 only; default: unbounded, one exchange round)",
+    )
+    p.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -180,11 +188,23 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def _run_one(
-    fig: str, scale_name: str, mode: str, obs=None, faults=None, jobs=1, cache=None
+    fig: str,
+    scale_name: str,
+    mode: str,
+    obs=None,
+    faults=None,
+    jobs=1,
+    cache=None,
+    cb_buffer=None,
 ) -> FigureResult:
     scale = SCALES[scale_name]
     driver = FIGURES[fig]
-    return driver(scale=scale, mode=mode, obs=obs, faults=faults, jobs=jobs, cache=cache)
+    kwargs = {}
+    if fig == "18" and cb_buffer is not None:
+        kwargs["cb_buffer"] = cb_buffer
+    return driver(
+        scale=scale, mode=mode, obs=obs, faults=faults, jobs=jobs, cache=cache, **kwargs
+    )
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -278,9 +298,19 @@ def main(argv: List[str] | None = None) -> int:
     figures = sorted(FIGURES, key=int) if args.all else [args.figure]
     all_points = []
     failed = False
+    if args.cb_buffer is not None and args.cb_buffer < 1:
+        print("error: --cb-buffer must be a positive byte count", file=sys.stderr)
+        return 2
     for fig in figures:
         result = _run_one(
-            fig, args.scale, mode, obs=obs, faults=faults, jobs=args.jobs, cache=cache
+            fig,
+            args.scale,
+            mode,
+            obs=obs,
+            faults=faults,
+            jobs=args.jobs,
+            cache=cache,
+            cb_buffer=args.cb_buffer,
         )
         if metrics is not None:
             metrics.record_sweep(f"fig{fig}", result.points)

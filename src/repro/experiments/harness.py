@@ -139,7 +139,9 @@ def des_point(
         obs.attach(cluster)
     method = _make_method(method_name, method_opts)
     serialize = kind == "write" and isinstance(method, (DataSievingIO, HybridIO))
-    comm = Communicator(cluster.sim, pattern.n_ranks) if serialize else None
+    collective = getattr(method, "collective", False)
+    comm = Communicator(cluster.sim, pattern.n_ranks) if serialize or collective else None
+    shared: Dict = {}
     phase_times: Dict[str, list] = {"open": [], "transfer": [], "close": []}
 
     def workload(client):
@@ -148,7 +150,15 @@ def des_point(
         t0 = sim.now
         f = yield from client.open(path, create=True)
         t1 = sim.now
-        if kind == "read":
+        if collective and kind == "read":
+            yield from method.collective_read(
+                comm, client.index, shared, f, None, access.mem_regions, access.file_regions
+            )
+        elif collective:
+            yield from method.collective_write(
+                comm, client.index, shared, f, None, access.mem_regions, access.file_regions
+            )
+        elif kind == "read":
             yield from method.read(f, None, access.mem_regions, access.file_regions)
         elif serialize:
             yield from method.serialized_write(

@@ -2,6 +2,7 @@
 
 from .plan import RankPlan, compile_rank_plan
 from .predict import Prediction, predict_pattern, predict_plans
+from .twophase import crossover_point, predict_twophase
 
 __all__ = [
     "RankPlan",
@@ -9,4 +10,6 @@ __all__ = [
     "Prediction",
     "predict_pattern",
     "predict_plans",
+    "predict_twophase",
+    "crossover_point",
 ]

@@ -230,9 +230,7 @@ def compile_rank_plan(
     if method == "vector":
         return _plan_vector(kind, file_regions)
     if method == "datasieve":
-        return _plan_sieve(
-            kind, file_regions, sieve_buffer or config.sieve_buffer_size
-        )
+        return _plan_sieve(kind, file_regions, sieve_buffer or config.sieve_buffer_size)
     if method == "hybrid":
         return _plan_hybrid(kind, file_regions, gap_threshold, config.list_io_max_regions)
     raise ModelError(f"unknown method {method!r}")

@@ -55,6 +55,9 @@ class Prediction:
     useful_bytes: int
     per_server_work: List[float] = field(default_factory=list)
     per_client_path: List[float] = field(default_factory=list)
+    #: Collective exchange time (two-phase metadata + redistribution);
+    #: 0 for the independent methods.
+    exchange_bound: float = 0.0
 
     @property
     def wasted_bytes(self) -> int:
@@ -72,9 +75,7 @@ def _wire(cfg: ClusterConfig, payload):
     """Vectorized wire bytes (payload + per-frame overhead)."""
     payload = np.asarray(payload, dtype=np.float64)
     frames = np.ceil(np.maximum(payload, 1) / cfg.network.mtu_payload)
-    return payload + frames * (
-        cfg.network.frame_overhead + cfg.network.ip_tcp_overhead
-    )
+    return payload + frames * (cfg.network.frame_overhead + cfg.network.ip_tcp_overhead)
 
 
 class _Loads:
@@ -162,9 +163,7 @@ def _decompose_phase(
     }
 
 
-def _disk_time_estimate(
-    cfg: ClusterConfig, kind: str, nbytes: float, unique_bytes: float
-) -> float:
+def _disk_time_estimate(cfg: ClusterConfig, kind: str, nbytes: float, unique_bytes: float) -> float:
     """Disk service estimate for ``nbytes`` of access, of which
     ``unique_bytes`` are first-touch (media) bytes."""
     cache = cfg.cache
@@ -182,9 +181,7 @@ def _disk_time_estimate(
     return memcpy + media + positionings * disk.positioning_time
 
 
-def predict_plans(
-    plans: List[RankPlan], cfg: ClusterConfig
-) -> Prediction:
+def predict_plans(plans: List[RankPlan], cfg: ClusterConfig) -> Prediction:
     """Predict the elapsed time of one parallel transfer phase-set."""
     if not plans:
         raise ModelError("predict_plans needs at least one rank plan")
@@ -225,9 +222,7 @@ def predict_plans(
     # (sieving reads overlapping windows), only first touches hit media.
     # Approximate unique read bytes per server by capping at the striped
     # share of the union extent.
-    union_cap = _union_extent_bytes(plans) / max(
-        cfg.stripe.resolve_pcount(cfg.n_iods), 1
-    )
+    union_cap = _union_extent_bytes(plans) / max(cfg.stripe.resolve_pcount(cfg.n_iods), 1)
     server_work = np.zeros(cfg.n_iods)
     for s in range(cfg.n_iods):
         read_unique = min(loads.read_bytes[s], union_cap)
@@ -249,9 +244,7 @@ def predict_plans(
 
     # -- combine ------------------------------------------------------------
     if serialized:
-        barrier = n_clients * cfg.network.latency * max(
-            math.ceil(math.log2(max(n_clients, 2))), 1
-        )
+        barrier = n_clients * cfg.network.latency * max(math.ceil(math.log2(max(n_clients, 2))), 1)
         client_bound = float(client_paths.sum()) + barrier
         elapsed = max(client_bound, server_bound, network_bound)
     else:
@@ -296,10 +289,12 @@ def predict_pattern(
     **plan_opts,
 ) -> Prediction:
     """Compile and predict a whole benchmark pattern."""
+    if method == "twophase":
+        from .twophase import predict_twophase
+
+        return predict_twophase(pattern, kind, cfg, **plan_opts)
     plans = [
-        compile_rank_plan(
-            method, kind, a.mem_regions, a.file_regions, cfg, **plan_opts
-        )
+        compile_rank_plan(method, kind, a.mem_regions, a.file_regions, cfg, **plan_opts)
         for a in pattern.accesses
     ]
     return predict_plans(plans, cfg)

@@ -16,147 +16,49 @@ and file views, and the library turns them into file-system requests.
   (e.g. FLASH) this collapses thousands of tiny interleaved requests per
   rank into one streaming request per aggregator.
 
+The aggregator-selection, file-domain, and exchange machinery lives in
+:mod:`repro.mpiio.twophase`, which the first-class
+:class:`repro.core.TwoPhaseIO` access method shares.
+
 All operations are simulation processes; collectives must be entered by
 every rank of the communicator in the same order (MPI semantics).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..datatypes import BYTE, Datatype
-from ..errors import PVFSError
 from ..mpi import Communicator
 from ..pvfs.client import PVFSFile
-from ..regions import RegionList, build_flat_indices
-from ..simulate import Event
+from ..regions import build_flat_indices
+from .twophase import (
+    DATA_HEADER,
+    META_BYTES_PER_REGION,
+    META_HEADER,
+    CollectiveContext,
+    Exchange,
+    MPIIOError,
+    collective_read,
+    collective_write,
+    partition_file_domains,
+    select_aggregators,
+    stream_positions,
+)
 from .view import FileView
 
 __all__ = ["MPIIOError", "MPIFile", "open_one"]
 
-#: Metadata record shipped per region during the exchange phase (offset +
-#: length, as in ROMIO's offset-list exchange).
-_META_BYTES_PER_REGION = 16
-_META_HEADER = 64
-_DATA_HEADER = 64
-
-
-class MPIIOError(PVFSError):
-    """MPI-IO layer misuse (mismatched collectives, bad views, ...)."""
-
-
-class _Exchange:
-    """Scratch state shared by all ranks for ONE collective operation."""
-
-    def __init__(self, sim, size: int) -> None:
-        self.sim = sim
-        self.size = size
-        self.meta: Dict[int, RegionList] = {}
-        self.meta_event = Event(sim)
-        self.contributions: Dict[int, List[Tuple[int, RegionList, Optional[np.ndarray]]]] = (
-            defaultdict(list)
-        )
-        self._arrival_events: Dict[int, Event] = {}
-        self._expected: Dict[int, int] = {}
-        # read path: aggregator -> requester -> (regions, data)
-        self.replies: Dict[Tuple[int, int], Tuple[RegionList, Optional[np.ndarray]]] = {}
-        self._reply_events: Dict[int, Event] = {}
-        self._reply_expected: Dict[int, int] = {}
-
-    # -- metadata ------------------------------------------------------
-    def deposit_meta(self, rank: int, regions: RegionList) -> None:
-        if rank in self.meta:
-            raise MPIIOError(f"rank {rank} entered the collective twice")
-        self.meta[rank] = regions
-        if len(self.meta) == self.size:
-            self.meta_event.succeed(dict(self.meta))
-
-    # -- write-side contributions ---------------------------------------
-    def expect_contributions(self, aggregator: int, n: int) -> Event:
-        ev = self._arrival_events.setdefault(aggregator, Event(self.sim))
-        self._expected[aggregator] = n
-        self._maybe_fire(aggregator)
-        return ev
-
-    def deposit_contribution(
-        self,
-        aggregator: int,
-        src: int,
-        regions: RegionList,
-        data: Optional[np.ndarray],
-    ) -> None:
-        self.contributions[aggregator].append((src, regions, data))
-        self._maybe_fire(aggregator)
-
-    def _maybe_fire(self, aggregator: int) -> None:
-        ev = self._arrival_events.get(aggregator)
-        expected = self._expected.get(aggregator)
-        if ev is None or expected is None or ev.triggered:
-            return
-        if len(self.contributions[aggregator]) >= expected:
-            self.contributions[aggregator].sort(key=lambda t: t[0])
-            ev.succeed(self.contributions[aggregator])
-
-    # -- read-side replies ----------------------------------------------
-    def expect_replies(self, requester: int, n: int) -> Event:
-        ev = self._reply_events.setdefault(requester, Event(self.sim))
-        self._reply_expected[requester] = n
-        self._maybe_reply(requester)
-        return ev
-
-    def deposit_reply(
-        self,
-        requester: int,
-        aggregator: int,
-        regions: RegionList,
-        data: Optional[np.ndarray],
-    ) -> None:
-        self.replies[(requester, aggregator)] = (regions, data)
-        self._maybe_reply(requester)
-
-    def _maybe_reply(self, requester: int) -> None:
-        ev = self._reply_events.get(requester)
-        expected = self._reply_expected.get(requester)
-        if ev is None or expected is None or ev.triggered:
-            return
-        got = [(agg, *self.replies[(requester, agg)])
-               for (req, agg) in self.replies if req == requester]
-        if len(got) >= expected:
-            got.sort(key=lambda t: t[0])
-            ev.succeed(got)
-
-
-class _CollectiveContext:
-    """Per-(file, communicator) registry matching each rank's k-th
-    collective call to a shared :class:`_Exchange`."""
-
-    def __init__(self, sim, comm: Communicator) -> None:
-        self.sim = sim
-        self.comm = comm
-        self._slots: Dict[Tuple[str, int], _Exchange] = {}
-        self._calls: Dict[Tuple[str, int], int] = defaultdict(int)
-
-    def slot(self, kind: str, rank: int) -> _Exchange:
-        gen = self._calls[(kind, rank)]
-        self._calls[(kind, rank)] += 1
-        key = (kind, gen)
-        if key not in self._slots:
-            self._slots[key] = _Exchange(self.sim, self.comm.size)
-        return self._slots[key]
-
-
-def _stream_positions(regions: RegionList, clipped: RegionList) -> np.ndarray:
-    """Stream offsets (within ``regions``' byte stream) of each clipped
-    piece.  ``regions`` must be sorted & disjoint; ``clipped`` must be a
-    sub-list of it (as produced by ``regions.clip``)."""
-    if clipped.count == 0:
-        return np.empty(0, np.int64)
-    starts = np.concatenate(([0], np.cumsum(regions.lengths)[:-1]))
-    idx = np.searchsorted(regions.ends, clipped.offsets, side="right")
-    return starts[idx] + (clipped.offsets - regions.offsets[idx])
+# Backwards-compatible aliases: the exchange machinery moved to
+# ``repro.mpiio.twophase`` when two-phase became a first-class method.
+_Exchange = Exchange
+_CollectiveContext = CollectiveContext
+_stream_positions = stream_positions
+_META_BYTES_PER_REGION = META_BYTES_PER_REGION
+_META_HEADER = META_HEADER
+_DATA_HEADER = DATA_HEADER
 
 
 class MPIFile:
@@ -167,8 +69,9 @@ class MPIFile:
         pvfs_file: PVFSFile,
         comm: Communicator,
         rank: int,
-        context: _CollectiveContext,
+        context: CollectiveContext,
         cb_nodes: Optional[int] = None,
+        cb_buffer: Optional[int] = None,
     ) -> None:
         self.f = pvfs_file
         self.comm = comm
@@ -178,9 +81,14 @@ class MPIFile:
         #: Number of collective-buffering aggregators (ROMIO's ``cb_nodes``
         #: hint).  Default: every rank aggregates.  Must be identical on
         #: all ranks of the communicator.
-        self.cb_nodes = comm.size if cb_nodes is None else cb_nodes
-        if not 1 <= self.cb_nodes <= comm.size:
-            raise MPIIOError(f"cb_nodes must be in 1..{comm.size}")
+        self.cb_nodes = len(select_aggregators(comm.size, cb_nodes))
+        #: Collective buffer size in bytes (ROMIO's ``cb_buffer_size``
+        #: hint): each aggregator covers its domain in windows of at most
+        #: this many bytes per exchange round.  ``None`` = unbounded (one
+        #: round).  Must be identical on all ranks.
+        if cb_buffer is not None and cb_buffer < 1:
+            raise MPIIOError("cb_buffer must be a positive byte count")
+        self.cb_buffer = cb_buffer
 
     # ------------------------------------------------------------------
     def set_view(
@@ -193,10 +101,6 @@ class MPIFile:
     @property
     def _client(self):
         return self.f.client
-
-    @property
-    def _move(self) -> bool:
-        return self._client.move_bytes
 
     # ------------------------------------------------------------------
     # Independent operations
@@ -259,40 +163,14 @@ class MPIFile:
         yield from self.f.write_list(regions, stream)
 
     # ------------------------------------------------------------------
-    # Two-phase collective operations
+    # Two-phase collective operations (engine: repro.mpiio.twophase)
     # ------------------------------------------------------------------
-    def _domains(self, metas: Dict[int, RegionList]) -> List[Tuple[int, int]]:
-        """Partition the aggregate range into per-aggregator file domains,
-        aligned to the file's stripe size (ROMIO's cb alignment).  The
-        first ``cb_nodes`` ranks aggregate; the rest get empty domains."""
-        lo, hi = None, None
-        for r in metas.values():
-            if r.count == 0:
-                continue
-            a, b = r.extent
-            lo = a if lo is None else min(lo, a)
-            hi = b if hi is None else max(hi, b)
-        if lo is None:
-            return [(0, 0)] * self.comm.size
-        align = self.f.stripe.stripe_size
-        span = hi - lo
-        per = -(-span // self.cb_nodes)
-        per = -(-per // align) * align  # round up to stripe multiple
-        domains = []
-        for d in range(self.comm.size):
-            if d < self.cb_nodes:
-                a = min(lo + d * per, hi)
-                b = min(a + per, hi)
-            else:
-                a = b = 0
-            domains.append((a, b))
-        return domains
-
-    def _net(self):
-        return self._client.cluster.net
-
-    def _node_of(self, rank: int):
-        return self._client.cluster.clients[rank].node
+    def _domains(self, metas):
+        """Per-rank file domains for one collective (kept for callers of
+        the pre-refactor private API)."""
+        return partition_file_domains(
+            metas, self.comm.size, self.cb_nodes, self.f.stripe.stripe_size
+        )
 
     def write_at_all(self, offset: int, data: Optional[np.ndarray], nbytes: Optional[int] = None):
         """Collective write via two-phase I/O (process).
@@ -303,170 +181,31 @@ class MPIFile:
         """
         n = int(data.size if data is not None else (nbytes or 0))
         my_regions = self.view.regions_for(offset, n)
-        sim = self._client.sim
-        net = self._net()
-        ex = self._ctx.slot("write", self.rank)
-
-        # -- phase 0: metadata exchange (offset lists, all-to-all) -------
-        ex.deposit_meta(self.rank, my_regions)
-        meta_bytes = _META_HEADER + _META_BYTES_PER_REGION * my_regions.count
-        sends = [
-            sim.process(net.transfer(self._node_of(self.rank), self._node_of(d), meta_bytes))
-            for d in range(self.comm.size)
-            if d != self.rank
-        ]
-        if sends:
-            yield sim.all_of(sends)
-        metas = yield ex.meta_event
-        domains = self._domains(metas)
-
-        # -- phase 1: redistribute data to aggregators -------------------
-        contributors_per_domain = [
-            sum(1 for r in metas.values() if r.clip(a, b).count > 0)
-            for (a, b) in domains
-        ]
-        arrival = ex.expect_contributions(
-            self.rank, contributors_per_domain[self.rank]
+        yield from collective_write(
+            self.f,
+            self.comm,
+            self.rank,
+            self._ctx,
+            my_regions,
+            data,
+            cb_nodes=self.cb_nodes,
+            cb_buffer=self.cb_buffer,
         )
-        send_procs = []
-        for d, (a, b) in enumerate(domains):
-            mine = my_regions.clip(a, b)
-            if mine.count == 0:
-                continue
-            payload = None
-            if self._move and data is not None:
-                pos = _stream_positions(my_regions, mine)
-                idx = build_flat_indices(pos, mine.lengths)
-                payload = np.ascontiguousarray(data[idx])
-            send_procs.append(
-                sim.process(
-                    self._ship_contribution(ex, d, mine, payload)
-                )
-            )
-        if send_procs:
-            yield sim.all_of(send_procs)
-
-        # -- phase 2: aggregate and write my domain ----------------------
-        contribs = yield arrival
-        if contribs:
-            pieces = RegionList.empty()
-            for _src, regions, _payload in contribs:
-                pieces = pieces.concat(regions)
-            merged = pieces.coalesced()
-            buffer = None
-            if self._move:
-                buffer = np.zeros(merged.total_bytes, np.uint8)
-                for _src, regions, payload in contribs:
-                    if payload is None:
-                        continue
-                    pos = _stream_positions(merged, regions)
-                    idx = build_flat_indices(pos, regions.lengths)
-                    buffer[idx] = payload
-            # assembly cost
-            yield sim.timeout(merged.total_bytes / self._client.costs.memcpy_rate)
-            yield from self.f.write_list(merged, buffer)
-        yield self.comm.barrier()
-
-    def _ship_contribution(
-        self, ex: _Exchange, aggregator: int, regions: RegionList, payload
-    ):
-        net = self._net()
-        nbytes = (
-            _DATA_HEADER
-            + _META_BYTES_PER_REGION * regions.count
-            + regions.total_bytes
-        )
-        if aggregator != self.rank:
-            yield from net.transfer(
-                self._node_of(self.rank), self._node_of(aggregator), nbytes
-            )
-        else:
-            yield self._client.sim.timeout(0)
-        ex.deposit_contribution(aggregator, self.rank, regions, payload)
 
     def read_at_all(self, offset: int, nbytes: int):
         """Collective read via two-phase I/O (process); returns the packed
         view stream for this rank."""
         my_regions = self.view.regions_for(offset, nbytes)
-        sim = self._client.sim
-        net = self._net()
-        ex = self._ctx.slot("read", self.rank)
-
-        # -- phase 0: metadata exchange ----------------------------------
-        ex.deposit_meta(self.rank, my_regions)
-        meta_bytes = _META_HEADER + _META_BYTES_PER_REGION * my_regions.count
-        sends = [
-            sim.process(net.transfer(self._node_of(self.rank), self._node_of(d), meta_bytes))
-            for d in range(self.comm.size)
-            if d != self.rank
-        ]
-        if sends:
-            yield sim.all_of(sends)
-        metas = yield ex.meta_event
-        domains = self._domains(metas)
-
-        # how many aggregators will send me data?
-        a_mine = sum(
-            1 for (a, b) in domains if my_regions.clip(a, b).count > 0
+        out = yield from collective_read(
+            self.f,
+            self.comm,
+            self.rank,
+            self._ctx,
+            my_regions,
+            cb_nodes=self.cb_nodes,
+            cb_buffer=self.cb_buffer,
         )
-        reply_ev = ex.expect_replies(self.rank, a_mine)
-
-        # -- phase 1: aggregator reads its domain -------------------------
-        a, b = domains[self.rank]
-        domain_union = RegionList.empty()
-        for r in metas.values():
-            domain_union = domain_union.concat(r.clip(a, b))
-        domain_union = domain_union.coalesced()
-        domain_data = None
-        if domain_union.count:
-            domain_data = yield from self.f.read_list(domain_union)
-            # -- phase 2: ship each requester its pieces ------------------
-            ship = []
-            for requester, regions in metas.items():
-                want = regions.clip(a, b)
-                if want.count == 0:
-                    continue
-                payload = None
-                if self._move and domain_data is not None:
-                    pos = _stream_positions(domain_union, want)
-                    idx = build_flat_indices(pos, want.lengths)
-                    payload = np.ascontiguousarray(domain_data[idx])
-                ship.append(
-                    sim.process(
-                        self._ship_reply(ex, requester, want, payload)
-                    )
-                )
-            if ship:
-                yield sim.all_of(ship)
-
-        # -- phase 3: assemble my stream from aggregator replies ----------
-        replies = yield reply_ev
-        out = None
-        if self._move:
-            out = np.zeros(my_regions.total_bytes, np.uint8)
-            for _agg, regions, payload in replies:
-                if payload is None:
-                    continue
-                pos = _stream_positions(my_regions, regions)
-                idx = build_flat_indices(pos, regions.lengths)
-                out[idx] = payload
-        if my_regions.count:
-            yield sim.timeout(
-                my_regions.total_bytes / self._client.costs.memcpy_rate
-            )
-        yield self.comm.barrier()
         return out
-
-    def _ship_reply(self, ex: _Exchange, requester: int, regions: RegionList, payload):
-        net = self._net()
-        nbytes = _DATA_HEADER + regions.total_bytes
-        if requester != self.rank:
-            yield from net.transfer(
-                self._node_of(self.rank), self._node_of(requester), nbytes
-            )
-        else:
-            yield self._client.sim.timeout(0)
-        ex.deposit_reply(requester, self.rank, regions, payload)
 
     # ------------------------------------------------------------------
     def close(self):
@@ -483,14 +222,16 @@ def open_one(
     shared_context: dict,
     create: bool = True,
     cb_nodes: Optional[int] = None,
+    cb_buffer: Optional[int] = None,
 ):
     """Open ``path`` on one rank and join the communicator's collective
     context (process).  ``shared_context`` is any dict shared by the ranks
     of the workload (e.g. a closure variable).  ``cb_nodes`` sets the
-    number of collective-buffering aggregators (must match on all ranks)."""
+    number of collective-buffering aggregators and ``cb_buffer`` the
+    collective buffer size in bytes (both must match on all ranks)."""
     f = yield from client.open(path, create=create)
     ctx = shared_context.get("ctx")
     if ctx is None:
-        ctx = _CollectiveContext(client.sim, comm)
+        ctx = CollectiveContext(client.sim, comm)
         shared_context["ctx"] = ctx
-    return MPIFile(f, comm, client.index, ctx, cb_nodes=cb_nodes)
+    return MPIFile(f, comm, client.index, ctx, cb_nodes=cb_nodes, cb_buffer=cb_buffer)

@@ -47,9 +47,7 @@ class FileView:
         if nbytes == 0:
             return RegionList.empty()
         if nbytes % self.etype.size:
-            raise DatatypeError(
-                f"transfer of {nbytes} B is not a whole number of etypes"
-            )
+            raise DatatypeError(f"transfer of {nbytes} B is not a whole number of etypes")
         stream_start = offset_etypes * self.etype.size
         fsize = self.filetype.size
         first_instance = stream_start // fsize
@@ -64,10 +62,7 @@ class FileView:
     @property
     def is_contiguous(self) -> bool:
         """Whether the view exposes the raw byte stream (default view)."""
-        return (
-            self.filetype.region_count == 1
-            and self.filetype.size == self.filetype.extent
-        )
+        return self.filetype.region_count == 1 and self.filetype.size == self.filetype.extent
 
     def __repr__(self) -> str:
         return (

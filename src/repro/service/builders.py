@@ -89,7 +89,17 @@ def _build_figure(payload: Dict[str, Any]) -> Tuple[List[Any], str]:
 
             if not scale.des_friendly:
                 scale = SCALED
-            specs = coll_specs(scale)
+            cb_buffer = _field(payload, "cb_buffer")
+            if cb_buffer is not None:
+                try:
+                    cb_buffer = int(cb_buffer)
+                except (TypeError, ValueError):
+                    raise SpecPayloadError(
+                        f"cb_buffer must be an integer byte count, got {cb_buffer!r}"
+                    ) from None
+                if cb_buffer < 1:
+                    raise SpecPayloadError("cb_buffer must be a positive byte count")
+            specs = coll_specs(scale, cb_buffer=cb_buffer)
     except ConfigError as exc:
         raise SpecPayloadError(str(exc)) from None
     return specs, f"fig{int(figure):02d}"

@@ -135,6 +135,8 @@ def _payload_of(args: argparse.Namespace) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"kind": "figure", "figure": args.figure, "scale": args.scale}
         if args.mode:
             payload["mode"] = args.mode
+        if getattr(args, "cb_buffer", None) is not None:
+            payload["cb_buffer"] = args.cb_buffer
         return payload
     if args.target == "chaos":
         return {
@@ -240,6 +242,13 @@ def _parser() -> argparse.ArgumentParser:
     fig.add_argument("figure", choices=("9", "10", "11", "12", "15", "17", "18"))
     fig.add_argument("--scale", default="scaled", help="parameter scale (default: scaled)")
     fig.add_argument("--mode", choices=("model", "des"), default=None)
+    fig.add_argument(
+        "--cb-buffer",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="collective buffer size for two-phase I/O (figure 18 only)",
+    )
 
     chaos = tsub.add_parser("chaos", help="a fault-injection scenario")
     chaos.add_argument("--scenario", required=True)

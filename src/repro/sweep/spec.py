@@ -155,6 +155,9 @@ class MpiioSpec:
     collective: bool
     cb_nodes: Optional[int] = None
     faults: Optional[Any] = None  # FaultConfig or None
+    #: Collective buffer size in bytes (ROMIO's ``cb_buffer_size``);
+    #: ``None`` = unbounded, i.e. one exchange round per collective.
+    cb_buffer: Optional[int] = None
 
     def run(self, obs=None):
         from ..experiments.collective import _mpiio_point
@@ -166,6 +169,7 @@ class MpiioSpec:
             cb_nodes=self.cb_nodes,
             obs=obs,
             faults=self.faults,
+            cb_buffer=self.cb_buffer,
         )
 
     def cache_token(self) -> Dict[str, Any]:

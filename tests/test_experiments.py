@@ -111,9 +111,21 @@ class TestFigureDrivers:
         res = figure18(scale=SMOKE, clients=(2,))
         assert res.figure == "fig18"
         series = {p.series for p in res.points}
-        assert series == {"multiple", "list", "mpiio-indep", "mpiio-coll"}
+        assert series == {
+            "multiple",
+            "list",
+            "mpiio-indep",
+            "mpiio-coll",
+            "twophase",
+            "twophase-model",
+            "list-model",
+        }
         by = {p.series: p.elapsed for p in res.points}
         assert by["mpiio-coll"] < by["multiple"]
+        assert by["twophase"] < by["multiple"]
+        modes = {p.series: p.mode for p in res.points}
+        assert modes["twophase"] == "des"
+        assert modes["twophase-model"] == "model"
 
     def test_figure18_falls_back_from_paper_scale(self):
         from repro.experiments.collective import figure18
